@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark executes
+its full experiment sweep exactly once (the simulator is deterministic, so
+repetition adds nothing) and writes the paper-style data tables both to
+stdout and to ``benchmarks/results/<name>.txt``.
+
+Scale via ``REPRO_BENCH_SCALE`` = quick | standard (default) | paper.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+    return runner

@@ -1,0 +1,56 @@
+"""Ablation (§5.3.4 "other experiments"): GLUEFACTOR sweep.
+
+More inter-partition references mean a larger ERT, more external parents
+for PQR to lock during quiesce (spreading its interference across the
+whole database), and more cross-partition parent patches for IRA.
+"""
+
+from repro import Database, ExperimentConfig
+from repro.bench import base_workload, bench_scale, format_series, save_results
+from repro.core import CompactionPlan
+from repro.workload import WorkloadDriver
+
+
+def test_ablation_glue_factor(once):
+    scale = bench_scale()
+
+    def run():
+        rows = {}
+        for glue in scale.glue_factor_points:
+            workload = base_workload(glue_factor=glue, mpl=30)
+            results = {}
+            for algorithm in ("ira", "pqr"):
+                db, layout = Database.with_workload(workload)
+                ert_size = len(db.engine.ert_for(1))
+                driver = WorkloadDriver(db.engine, layout,
+                                        ExperimentConfig(workload=workload))
+                reorganizer = db.reorganizer(1, algorithm,
+                                             plan=CompactionPlan())
+                metrics = driver.run(reorganizer=reorganizer)
+                assert db.verify_integrity().ok
+                results[algorithm] = (metrics, ert_size, reorganizer)
+            rows[glue] = results
+        return rows
+
+    rows = once(run)
+    xs = list(scale.glue_factor_points)
+    text = format_series(
+        "Ablation: glue factor (fraction of inter-partition references)",
+        "glue", xs,
+        {
+            "ERT size": [rows[g]["ira"][1] for g in xs],
+            "IRA tps": [rows[g]["ira"][0].throughput_tps for g in xs],
+            "PQR tps": [rows[g]["pqr"][0].throughput_tps for g in xs],
+            "PQR locks": [rows[g]["pqr"][2].quiesce_locks for g in xs],
+        })
+    print("\n" + text)
+    save_results("ablation_glue_factor", text)
+
+    # The ERT and PQR's quiesce lock set grow with the glue factor.
+    ert_sizes = [rows[g]["ira"][1] for g in xs]
+    assert ert_sizes == sorted(ert_sizes)
+    pqr_locks = [rows[g]["pqr"][2].quiesce_locks for g in xs]
+    assert pqr_locks[-1] > pqr_locks[0]
+    # IRA keeps tracking NR-like throughput regardless of glue factor.
+    ira_curve = [rows[g]["ira"][0].throughput_tps for g in xs]
+    assert min(ira_curve) >= 0.85 * max(ira_curve)

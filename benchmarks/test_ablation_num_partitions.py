@@ -1,0 +1,53 @@
+"""Ablation (§5.3.4 "other experiments"): NUMPARTITIONS sweep.
+
+With more partitions (database size grows; one partition is reorganized),
+a smaller fraction of threads is homed on the partition being
+reorganized, so PQR's all-threads-blocked effect dilutes — while IRA is
+insensitive because it never locks out whole home partitions.
+"""
+
+from repro.bench import (
+    base_workload,
+    bench_scale,
+    format_series,
+    run_point,
+    save_results,
+)
+
+
+def test_ablation_num_partitions(once):
+    scale = bench_scale()
+
+    def run():
+        rows = {}
+        for parts in scale.partition_count_points:
+            workload = base_workload(num_partitions=parts, mpl=30)
+            ira = run_point("ira", workload)
+            pqr = run_point("pqr", workload)
+            rows[parts] = {"ira": ira, "pqr": pqr}
+        return rows
+
+    rows = once(run)
+    xs = list(scale.partition_count_points)
+    text = format_series(
+        "Ablation: NUMPARTITIONS (one partition reorganized), MPL 30",
+        "#partitions", xs,
+        {
+            "IRA tps": [rows[p]["ira"].throughput for p in xs],
+            "PQR tps": [rows[p]["pqr"].throughput for p in xs],
+            "IRA ART": [rows[p]["ira"].art for p in xs],
+            "PQR ART": [rows[p]["pqr"].art for p in xs],
+        })
+    print("\n" + text)
+    save_results("ablation_num_partitions", text)
+
+    # PQR's relative damage shrinks as the blocked fraction shrinks.
+    gap_small = (rows[xs[0]]["ira"].throughput
+                 - rows[xs[0]]["pqr"].throughput)
+    gap_large = (rows[xs[-1]]["ira"].throughput
+                 - rows[xs[-1]]["pqr"].throughput)
+    assert gap_large < gap_small
+    # PQR never beats IRA.
+    for parts in xs:
+        assert rows[parts]["pqr"].throughput <= \
+            rows[parts]["ira"].throughput * 1.02

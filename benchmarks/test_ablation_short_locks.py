@@ -1,0 +1,55 @@
+"""Ablation (§4.1): strict 2PL vs short-duration locks.
+
+With short-duration locks, readers release their S locks right after each
+access, so the reorganizer's X requests on parents stop queuing behind
+whole read transactions — but IRA must then wait on lock *history*
+(every active transaction that ever locked the object), restoring
+correctness at a small cost.
+"""
+
+from repro import Database, ExperimentConfig, SystemConfig
+from repro.bench import base_workload, save_results
+from repro.core import CompactionPlan
+from repro.workload import WorkloadDriver
+
+
+def run_mode(strict: bool):
+    workload = base_workload(mpl=30)
+    system = SystemConfig(strict_transactions=strict)
+    db, layout = Database.with_workload(workload, system=system)
+    driver = WorkloadDriver(db.engine, layout,
+                            ExperimentConfig(workload=workload,
+                                             system=system))
+    metrics = driver.run(
+        reorganizer=db.reorganizer(1, "ira", plan=CompactionPlan()))
+    assert db.verify_integrity().ok
+    assert metrics.reorg_stats.objects_migrated == \
+        workload.objects_per_partition
+    return metrics
+
+
+def test_ablation_short_duration_locks(once):
+    def run():
+        return run_mode(strict=True), run_mode(strict=False)
+
+    strict, relaxed = once(run)
+    text = "\n".join([
+        "Ablation (4.1): strict 2PL vs short-duration locks (IRA, MPL 30)",
+        f"{'':12} {'user tps':>9} {'ART(ms)':>8} {'reorg(s)':>9} "
+        f"{'lock waits':>11}",
+        f"{'strict 2PL':12} {strict.throughput_tps:>9.2f} "
+        f"{strict.avg_response_ms:>8.0f} "
+        f"{strict.reorg_duration_ms / 1000:>9.1f} "
+        f"{strict.lock_waits:>11}",
+        f"{'short locks':12} {relaxed.throughput_tps:>9.2f} "
+        f"{relaxed.avg_response_ms:>8.0f} "
+        f"{relaxed.reorg_duration_ms / 1000:>9.1f} "
+        f"{relaxed.lock_waits:>11}",
+    ])
+    print("\n" + text)
+    save_results("ablation_short_locks", text)
+
+    # Both modes complete correctly with comparable user-side numbers.
+    assert relaxed.throughput_tps >= 0.85 * strict.throughput_tps
+    # Short locks reduce reader/reorganizer lock queueing.
+    assert relaxed.lock_waits <= strict.lock_waits * 1.1

@@ -1,0 +1,54 @@
+"""Ablation (§5.3.4 "other experiments"): OPSPERTRANS sweep.
+
+Longer random walks mean more CPU per transaction (throughput drops
+roughly inversely) and more locks held per transaction (more conflicts
+with the reorganizer).
+"""
+
+from repro.bench import (
+    base_workload,
+    bench_scale,
+    format_series,
+    run_point,
+    save_results,
+)
+
+
+def test_ablation_walk_length(once):
+    scale = bench_scale()
+
+    def run():
+        rows = {}
+        for ops in scale.walk_length_points:
+            workload = base_workload(ops_per_trans=ops, mpl=30)
+            ira = run_point("ira", workload)
+            nr = run_point("nr", workload,
+                           horizon_ms=min(ira.metrics.window_ms,
+                                          scale.nr_horizon_cap_ms))
+            rows[ops] = {"nr": nr, "ira": ira}
+        return rows
+
+    rows = once(run)
+    xs = list(scale.walk_length_points)
+    text = format_series(
+        "Ablation: OPSPERTRANS (random-walk length), MPL 30",
+        "ops/txn", xs,
+        {
+            "NR tps": [rows[o]["nr"].throughput for o in xs],
+            "IRA tps": [rows[o]["ira"].throughput for o in xs],
+            "NR ART": [rows[o]["nr"].art for o in xs],
+            "IRA ART": [rows[o]["ira"].art for o in xs],
+        })
+    print("\n" + text)
+    save_results("ablation_walk_length", text)
+
+    # Throughput falls as walks lengthen; response time rises.
+    for name in ("nr", "ira"):
+        tps = [rows[o][name].throughput for o in xs]
+        art = [rows[o][name].art for o in xs]
+        assert tps == sorted(tps, reverse=True), f"{name}: {tps}"
+        assert art == sorted(art), f"{name}: {art}"
+    # IRA stays close to NR at every walk length.
+    for ops in xs:
+        assert rows[ops]["ira"].throughput >= \
+            0.85 * rows[ops]["nr"].throughput

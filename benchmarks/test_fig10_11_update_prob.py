@@ -1,0 +1,58 @@
+"""Figures 10 and 11: throughput and ART vs update probability.
+
+Paper shapes: all three systems lose throughput as the update probability
+rises (more exclusive locks, more lock conflicts), but PQR is relatively
+*less* affected — its data contention is already severe at low update
+probabilities — while always remaining below IRA.  Response times climb
+with update probability for all three.
+"""
+
+from repro.bench import (
+    base_workload,
+    bench_scale,
+    format_series,
+    run_three_way,
+    save_results,
+)
+
+
+def test_fig10_fig11_update_probability(once):
+    scale = bench_scale()
+
+    def run():
+        results = {}
+        for prob in scale.update_prob_points:
+            workload = base_workload(update_prob=prob, mpl=30)
+            results[prob] = run_three_way(workload, scale=scale)
+        return results
+
+    results = once(run)
+    xs = list(scale.update_prob_points)
+    throughput = {name.upper(): [results[p][name].throughput for p in xs]
+                  for name in ("nr", "ira", "pqr")}
+    art = {name.upper(): [results[p][name].art for p in xs]
+           for name in ("nr", "ira", "pqr")}
+
+    fig10 = format_series(
+        "Figure 10: Update Probability - Throughput (tps)",
+        "update prob", xs, throughput)
+    fig11 = format_series(
+        "Figure 11: Update Probability - Avg Response Time (ms)",
+        "update prob", xs, art, y_format="{:9.0f}")
+    print("\n" + fig10 + "\n\n" + fig11)
+    save_results("fig10_update_prob_throughput", fig10)
+    save_results("fig11_update_prob_response_time", fig11)
+
+    # Throughput declines in update probability for NR and IRA.
+    for name in ("nr", "ira"):
+        curve = throughput[name.upper()]
+        assert curve[-1] < curve[0], f"{name} did not decline: {curve}"
+
+    # PQR is the least sensitive (relative drop smaller than NR's)...
+    nr_drop = throughput["NR"][0] / max(throughput["NR"][-1], 1e-9)
+    pqr_drop = throughput["PQR"][0] / max(throughput["PQR"][-1], 1e-9)
+    assert pqr_drop <= nr_drop * 1.05
+    # ...but always below IRA, even at the highest update probabilities.
+    for i, prob in enumerate(xs):
+        assert throughput["PQR"][i] <= throughput["IRA"][i], f"prob {prob}"
+        assert art["PQR"][i] >= art["IRA"][i] * 0.95, f"prob {prob}"

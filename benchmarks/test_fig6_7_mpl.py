@@ -1,0 +1,66 @@
+"""Figures 6 and 7: throughput and average response time vs MPL.
+
+Paper shapes: NR has the best throughput at every MPL, IRA tracks it
+closely; both peak early (resource saturation around MPL 5) and stay
+roughly flat, while PQR sits clearly lower and only reaches its best
+throughput at a much higher MPL (severe data contention under-utilizes
+the machine at low MPL).  Average response times mirror the throughput
+curves, growing near-linearly with MPL once the CPU saturates.
+"""
+
+from repro.bench import (
+    base_workload,
+    bench_scale,
+    format_series,
+    run_three_way,
+    save_results,
+)
+
+
+def test_fig6_fig7_mpl_scaleup(once):
+    scale = bench_scale()
+
+    def run():
+        results = {}
+        for mpl in scale.mpl_points:
+            results[mpl] = run_three_way(base_workload(mpl=mpl),
+                                         scale=scale)
+        return results
+
+    results = once(run)
+    xs = list(scale.mpl_points)
+    throughput = {name.upper(): [results[mpl][name].throughput
+                                 for mpl in xs]
+                  for name in ("nr", "ira", "pqr")}
+    art = {name.upper(): [results[mpl][name].art for mpl in xs]
+           for name in ("nr", "ira", "pqr")}
+
+    fig6 = format_series("Figure 6: MPL scaleup - Throughput (tps)",
+                         "MPL", xs, throughput)
+    fig7 = format_series("Figure 7: MPL scaleup - Avg Response Time (ms)",
+                         "MPL", xs, art, y_format="{:9.0f}")
+    print("\n" + fig6 + "\n\n" + fig7)
+    save_results("fig6_mpl_throughput", fig6)
+    save_results("fig7_mpl_response_time", fig7)
+
+    high_mpl = [mpl for mpl in xs if mpl >= 15]
+    for mpl in high_mpl:
+        nr = results[mpl]["nr"].metrics
+        ira = results[mpl]["ira"].metrics
+        pqr = results[mpl]["pqr"].metrics
+        # IRA hugs NR at every contested MPL; PQR trails both.
+        assert ira.throughput_tps >= 0.85 * nr.throughput_tps, f"MPL {mpl}"
+        assert pqr.throughput_tps <= 0.92 * nr.throughput_tps, f"MPL {mpl}"
+        assert pqr.avg_response_ms >= ira.avg_response_ms, f"MPL {mpl}"
+
+    # NR/IRA throughput saturates early: the peak is (nearly) reached by
+    # the second-lowest MPL point already.
+    for name in ("nr", "ira"):
+        curve = throughput[name.upper()]
+        assert max(curve[1:]) >= 0.85 * max(curve)
+        assert curve[0] < max(curve)  # MPL 1 leaves CPU/IO overlap unused
+
+    # Response time grows with MPL once saturated.
+    for name in ("nr", "ira"):
+        curve = art[name.upper()]
+        assert curve[-1] > 3 * curve[0]

@@ -1,0 +1,62 @@
+"""Figures 8 and 9: throughput and ART vs partition size (NUMOBJS).
+
+Paper shapes: NR and IRA throughput stay essentially flat as partitions
+grow (variation within noise), while PQR's throughput drops consistently
+and its average response time climbs much more steeply than IRA's — it
+locks the whole partition for a reorganization whose duration grows with
+partition size.
+"""
+
+from repro.bench import (
+    base_workload,
+    bench_scale,
+    format_series,
+    run_three_way,
+    save_results,
+)
+
+
+def test_fig8_fig9_partition_size_scaleup(once):
+    scale = bench_scale()
+
+    def run():
+        results = {}
+        for size in scale.partition_size_points:
+            workload = base_workload(objects_per_partition=size, mpl=30)
+            results[size] = run_three_way(workload, scale=scale)
+        return results
+
+    results = once(run)
+    xs = list(scale.partition_size_points)
+    throughput = {name.upper(): [results[size][name].throughput
+                                 for size in xs]
+                  for name in ("nr", "ira", "pqr")}
+    art = {name.upper(): [results[size][name].art for size in xs]
+           for name in ("nr", "ira", "pqr")}
+
+    fig8 = format_series(
+        "Figure 8: Partition size scaleup - Throughput (tps)",
+        "#objects", xs, throughput)
+    fig9 = format_series(
+        "Figure 9: Partition size scaleup - Avg Response Time (ms)",
+        "#objects", xs, art, y_format="{:9.0f}")
+    print("\n" + fig8 + "\n\n" + fig9)
+    save_results("fig8_partition_size_throughput", fig8)
+    save_results("fig9_partition_size_response_time", fig9)
+
+    # NR and IRA are steady in partition size (paper: <2 % variation for
+    # NR; we allow a little more noise at reduced scale).
+    for name in ("nr", "ira"):
+        curve = throughput[name.upper()]
+        assert min(curve) >= 0.85 * max(curve), f"{name} not flat: {curve}"
+
+    # PQR degrades: clearly lower at the largest partitions than the
+    # smallest, and its ART climbs faster than IRA's.
+    pqr_curve = throughput["PQR"]
+    assert pqr_curve[-1] <= 0.95 * pqr_curve[0], f"PQR flat: {pqr_curve}"
+    pqr_art_growth = art["PQR"][-1] / art["PQR"][0]
+    ira_art_growth = art["IRA"][-1] / art["IRA"][0]
+    assert pqr_art_growth > ira_art_growth
+    # At every size, PQR trails IRA.
+    for i, size in enumerate(xs):
+        assert throughput["PQR"][i] <= throughput["IRA"][i], f"size {size}"

@@ -1,0 +1,54 @@
+"""§5.3.4: PQR measured over IRA's (longer) duration.
+
+"While it is true that the PQR algorithm affects concurrent transactions
+severely for the duration of reorganization, it brings back normalcy much
+faster."  When PQR's run is measured over the *same* window IRA needs to
+finish, the throughput difference between the two "never exceeded 3%"
+(we assert a slightly looser bound at reduced scale).
+"""
+
+from repro import Database, ExperimentConfig
+from repro.bench import base_workload, bench_scale, run_point, save_results
+from repro.core import CompactionPlan
+from repro.workload import WorkloadDriver
+
+
+def test_sec534_pqr_over_ira_duration(once):
+    scale = bench_scale()
+
+    def run():
+        workload = base_workload(mpl=30)
+        ira = run_point("ira", workload)
+        window = ira.metrics.window_ms
+
+        # PQR run measured over IRA's duration: reorganization completes
+        # early, normal processing resumes, the window keeps running.
+        db, layout = Database.with_workload(workload)
+        driver = WorkloadDriver(db.engine, layout,
+                                ExperimentConfig(workload=workload))
+        pqr_metrics = driver.run(
+            reorganizer=db.reorganizer(1, "pqr", plan=CompactionPlan()),
+            horizon_ms=window)
+        assert db.verify_integrity().ok
+        return ira.metrics, pqr_metrics
+
+    ira, pqr = once(run)
+    gap = (ira.throughput_tps - pqr.throughput_tps) / ira.throughput_tps
+    text = "\n".join([
+        "Section 5.3.4: equal-duration comparison "
+        "(paper: difference never exceeded 3%)",
+        f"  measurement window: {ira.window_ms / 1000:.1f} s",
+        f"  IRA throughput over window: {ira.throughput_tps:8.2f} tps",
+        f"  PQR throughput over window: {pqr.throughput_tps:8.2f} tps",
+        f"  relative gap:               {gap:8.1%}",
+        f"  PQR reorg finished after:   "
+        f"{pqr.reorg_duration_ms / 1000:.1f} s",
+    ])
+    print("\n" + text)
+    save_results("sec534_equal_duration", text)
+
+    # PQR completes reorganization much earlier than the window...
+    assert pqr.reorg_duration_ms < 0.6 * ira.window_ms
+    # ...and over the full window the throughput gap nearly vanishes
+    # (paper: <= 3%; reduced scale gets a little more slack).
+    assert abs(gap) <= 0.08

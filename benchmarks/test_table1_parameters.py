@@ -1,0 +1,71 @@
+"""Table 1: Parameters of the implementation.
+
+The table itself is the default experiment configuration; this benchmark
+renders it (at paper scale regardless of the active bench scale, since the
+table documents the paper's defaults) and validates the structural facts
+§5.2 states about the generated database.
+"""
+
+from repro import Database, WorkloadConfig
+from repro.bench import save_results
+from repro.workload import glue_slot
+
+PAPER_DEFAULTS = {
+    "NUMPARTITIONS": ("partitions in the database", 10),
+    "NUMOBJS": ("objects per partition", 4080),
+    "MPL": ("multi programming level", 30),
+    "OPSPERTRANS": ("length of random walk per transaction", 8),
+    "UPDATEPROB": ("probability of exclusive access", 0.5),
+    "GLUEFACTOR": ("fraction of inter-partition references", 0.05),
+}
+
+
+def render_table1(config: WorkloadConfig) -> str:
+    rows = [
+        ("NUMPARTITIONS", config.num_partitions),
+        ("NUMOBJS", config.objects_per_partition),
+        ("MPL", config.mpl),
+        ("OPSPERTRANS", config.ops_per_trans),
+        ("UPDATEPROB", config.update_prob),
+        ("GLUEFACTOR", config.glue_factor),
+    ]
+    lines = ["Table 1: Parameters of the implementation",
+             f"{'Parameter':>15} {'Meaning':<42} {'Default':>8}"]
+    for name, value in rows:
+        meaning, paper_value = PAPER_DEFAULTS[name]
+        lines.append(f"{name:>15} {meaning:<42} {value!s:>8}")
+        assert value == paper_value, f"{name}: {value} != paper {paper_value}"
+    return "\n".join(lines)
+
+
+def test_table1_defaults_match_paper(once):
+    def run():
+        config = WorkloadConfig()  # the library's defaults ARE Table 1
+        text = render_table1(config)
+        # §5.2 structural facts at small scale: 85-object clusters are
+        # complete 4-ary trees whose roots are persistent roots.
+        db, layout = Database.with_workload(WorkloadConfig(
+            num_partitions=2, objects_per_partition=170, mpl=2))
+        assert config.cluster_size == 85
+        assert config.tree_depth == 3
+        root = layout.cluster_roots[1][0]
+        level = [root]
+        seen = 0
+        for _ in range(config.tree_depth + 1):
+            seen += len(level)
+            nxt = []
+            for node in level:
+                image = db.read_object(node)
+                nxt.extend(image.get_ref(i)
+                           for i in range(config.branching)
+                           if image.get_ref(i) is not None)
+            level = nxt
+        assert seen == config.cluster_size
+        # One glue edge per node.
+        for oid in db.store.live_oids(1):
+            assert db.store.get_ref(oid, glue_slot(config)) is not None
+        return text
+
+    text = once(run)
+    print("\n" + text)
+    save_results("table1_parameters", text)

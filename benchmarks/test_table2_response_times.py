@@ -1,0 +1,52 @@
+"""Table 2: Analysis of Response Times (MPL 30, defaults).
+
+Paper numbers:
+
+              tput    avg RT   max RT    std RT
+    NR        35.0      819     1503       127
+    IRA       33.7      861     1935       135
+    PQR       28.0     1030   100040      4113
+
+Shape targets (asserted): IRA within ~10 % of NR on throughput and ~10 %
+on average response time; PQR clearly below both, with max and standard
+deviation of response times far above IRA's — the paper's headline
+"PQR's variance is several orders of magnitude higher".
+"""
+
+from repro.bench import (
+    base_workload,
+    bench_scale,
+    format_table2,
+    run_three_way,
+    save_results,
+)
+
+
+def test_table2_response_time_analysis(once):
+    scale = bench_scale()
+
+    def run():
+        workload = base_workload(mpl=30)
+        return run_three_way(workload, scale=scale)
+
+    points = once(run)
+    text = format_table2(points)
+    print("\n" + text)
+    save_results("table2_response_times", text)
+
+    nr, ira, pqr = (points[k].metrics for k in ("nr", "ira", "pqr"))
+
+    # IRA barely degrades normal processing...
+    assert ira.throughput_tps >= 0.88 * nr.throughput_tps
+    assert ira.avg_response_ms <= 1.12 * nr.avg_response_ms
+    assert ira.std_response_ms <= 2.0 * nr.std_response_ms
+    # ...while PQR visibly hurts throughput and wrecks predictability.
+    assert pqr.throughput_tps <= 0.90 * nr.throughput_tps
+    assert pqr.avg_response_ms >= 1.10 * nr.avg_response_ms
+    assert pqr.std_response_ms >= 3.0 * ira.std_response_ms
+    # Transactions captured by the quiesce locks wait out most of PQR's
+    # run: the maximum response time tracks the reorganization duration
+    # (the paper's 100-second outliers), unlike IRA's.
+    assert pqr.max_response_ms >= 0.5 * pqr.reorg_duration_ms
+    assert pqr.max_response_ms >= 1.4 * ira.max_response_ms
+    assert ira.max_response_ms <= 0.2 * ira.reorg_duration_ms

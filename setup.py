@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks PEP 660 / wheel support (configuration is in
+pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from .harness import (
+    SCALES,
+    BenchPoint,
+    BenchScale,
+    base_workload,
+    bench_scale,
+    format_series,
+    format_table2,
+    run_point,
+    run_three_way,
+    save_results,
+)
+
+__all__ = [
+    "SCALES",
+    "BenchPoint",
+    "BenchScale",
+    "base_workload",
+    "bench_scale",
+    "format_series",
+    "format_table2",
+    "run_point",
+    "run_three_way",
+    "save_results",
+]

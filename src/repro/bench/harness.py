@@ -1,0 +1,195 @@
+"""Benchmark harness: one runner per paper table/figure.
+
+Scales (``REPRO_BENCH_SCALE`` environment variable):
+
+* ``paper``    — Table 1 defaults: 10 partitions x 4080 objects, the full
+  sweep ranges.  Slowest; closest to the published absolute numbers.
+* ``standard`` (default) — 6 partitions x 1020 objects and trimmed sweep
+  ranges.  All the paper's *shapes* (who wins, where curves peak, the
+  orders-of-magnitude dispersion gaps) reproduce at this scale in a few
+  minutes.
+* ``quick``    — 3 partitions x 340 objects, smoke-test sweeps.
+
+Every run is deterministic given the workload seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import ExperimentConfig, ReorgConfig, SystemConfig, WorkloadConfig
+from ..core import CompactionPlan
+from ..database import Database
+from ..workload import ExperimentMetrics, WorkloadDriver
+
+
+@dataclass
+class BenchScale:
+    name: str
+    num_partitions: int
+    objects_per_partition: int
+    mpl_points: Sequence[int]
+    partition_size_points: Sequence[int]
+    update_prob_points: Sequence[float]
+    glue_factor_points: Sequence[float]
+    walk_length_points: Sequence[int]
+    partition_count_points: Sequence[int]
+    batch_size_points: Sequence[int]
+    nr_horizon_cap_ms: float
+
+
+SCALES: Dict[str, BenchScale] = {
+    "paper": BenchScale(
+        name="paper", num_partitions=10, objects_per_partition=4080,
+        mpl_points=(1, 5, 10, 20, 30, 45, 60),
+        partition_size_points=(1020, 2040, 4080, 6120, 8160),
+        update_prob_points=(0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+        glue_factor_points=(0.01, 0.05, 0.2, 0.5),
+        walk_length_points=(4, 8, 16),
+        partition_count_points=(5, 10, 20),
+        batch_size_points=(1, 4, 16, 64),
+        nr_horizon_cap_ms=120_000.0),
+    "standard": BenchScale(
+        name="standard", num_partitions=6, objects_per_partition=1020,
+        mpl_points=(1, 5, 15, 30, 45),
+        partition_size_points=(510, 1020, 2040, 3060, 4080),
+        update_prob_points=(0.1, 0.3, 0.5, 0.8, 1.0),
+        glue_factor_points=(0.01, 0.05, 0.2, 0.5),
+        walk_length_points=(4, 8, 16),
+        partition_count_points=(3, 6, 12),
+        batch_size_points=(1, 4, 16, 64),
+        nr_horizon_cap_ms=60_000.0),
+    "quick": BenchScale(
+        name="quick", num_partitions=3, objects_per_partition=340,
+        mpl_points=(2, 10, 30),
+        partition_size_points=(170, 340, 680),
+        update_prob_points=(0.1, 0.5, 0.9),
+        glue_factor_points=(0.05, 0.5),
+        walk_length_points=(4, 8),
+        partition_count_points=(2, 4),
+        batch_size_points=(1, 16),
+        nr_horizon_cap_ms=20_000.0),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale, from ``REPRO_BENCH_SCALE`` (default: standard)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "standard")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; choose from {sorted(SCALES)}") \
+            from None
+
+
+@dataclass
+class BenchPoint:
+    """One measured experiment."""
+
+    algorithm: str
+    metrics: ExperimentMetrics
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput_tps
+
+    @property
+    def art(self) -> float:
+        return self.metrics.avg_response_ms
+
+
+def base_workload(scale: Optional[BenchScale] = None,
+                  **overrides) -> WorkloadConfig:
+    scale = scale or bench_scale()
+    params = dict(num_partitions=scale.num_partitions,
+                  objects_per_partition=scale.objects_per_partition)
+    params.update(overrides)
+    return WorkloadConfig(**params)
+
+
+def run_point(algorithm: str, workload: WorkloadConfig,
+              system: Optional[SystemConfig] = None,
+              reorg_config: Optional[ReorgConfig] = None,
+              horizon_ms: Optional[float] = None,
+              plan_factory=CompactionPlan) -> BenchPoint:
+    """Run one experiment on a freshly built database."""
+    db, layout = Database.with_workload(workload, system=system)
+    driver = WorkloadDriver(
+        db.engine, layout,
+        ExperimentConfig(workload=workload, system=system or SystemConfig()))
+    if algorithm == "nr":
+        metrics = driver.run(horizon_ms=horizon_ms)
+    else:
+        reorganizer = db.reorganizer(1, algorithm, plan=plan_factory(),
+                                     reorg_config=reorg_config)
+        metrics = driver.run(reorganizer=reorganizer, horizon_ms=horizon_ms)
+    report = db.verify_integrity()
+    if not report.ok:
+        raise AssertionError(
+            f"integrity violated after {algorithm}: {report.problems()[:3]}")
+    return BenchPoint(algorithm=algorithm, metrics=metrics)
+
+
+def run_three_way(workload: WorkloadConfig,
+                  scale: Optional[BenchScale] = None
+                  ) -> Dict[str, BenchPoint]:
+    """NR / IRA / PQR at one parameter point (the paper's comparison).
+
+    IRA runs first; NR is measured over the same duration (capped), as
+    the paper measures while reorganization is in progress.
+    """
+    scale = scale or bench_scale()
+    ira = run_point("ira", workload)
+    nr_horizon = min(ira.metrics.window_ms, scale.nr_horizon_cap_ms)
+    nr = run_point("nr", workload, horizon_ms=nr_horizon)
+    pqr = run_point("pqr", workload)
+    return {"nr": nr, "ira": ira, "pqr": pqr}
+
+
+# -- output formatting ------------------------------------------------------------
+
+
+def format_series(title: str, x_label: str, xs: Sequence,
+                  series: Dict[str, Sequence[float]],
+                  y_format: str = "{:9.2f}") -> str:
+    """A paper-figure data table: one row per x, one column per series."""
+    lines = [title, "-" * len(title)]
+    header = f"{x_label:>12} " + " ".join(f"{name:>9}" for name in series)
+    lines.append(header)
+    for i, x in enumerate(xs):
+        row = f"{x!s:>12} " + " ".join(
+            y_format.format(values[i]) for values in series.values())
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table2(points: Dict[str, BenchPoint]) -> str:
+    lines = [
+        "Table 2: Analysis of Response Times (paper: NR 35.0/819/1503/127,"
+        " IRA 33.7/861/1935/135, PQR 28.0/1030/100040/4113)",
+        f"{'':6} {'tput(tps)':>10} {'avg RT(ms)':>11} {'max RT(ms)':>11} "
+        f"{'std RT(ms)':>11}",
+    ]
+    for name in ("nr", "ira", "pqr"):
+        m = points[name].metrics
+        lines.append(
+            f"{name.upper():6} {m.throughput_tps:10.1f} "
+            f"{m.avg_response_ms:11.0f} {m.max_response_ms:11.0f} "
+            f"{m.std_response_ms:11.0f}")
+    return "\n".join(lines)
+
+
+def save_results(name: str, text: str) -> str:
+    """Persist a bench's rendered output under benchmarks/results/."""
+    results_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+        "benchmarks", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Run one of the bundled scenarios (quickstart-style) without writing
+    any code: build the paper's workload, reorganize a partition on-line
+    with the chosen algorithm, and report interference + integrity.
+
+``bench``
+    Run one paper experiment (table2, mpl, partition-size, update-prob,
+    equal-duration) and print its data table.
+
+``inspect``
+    Build the workload and print the database's physical layout
+    (partitions, pages, fragmentation, ERT sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    SCALES,
+    base_workload,
+    format_series,
+    format_table2,
+    run_three_way,
+)
+from .config import ExperimentConfig, SystemConfig, WorkloadConfig
+from .core import CompactionPlan
+from .database import Database, REORGANIZERS
+from .workload import WorkloadDriver
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--partitions", type=int, default=3,
+                        help="number of data partitions (default 3)")
+    parser.add_argument("--objects", type=int, default=1020,
+                        help="objects per partition, multiple of 85 "
+                             "(default 1020)")
+    parser.add_argument("--mpl", type=int, default=8,
+                        help="concurrent transaction threads (default 8)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _workload(args) -> WorkloadConfig:
+    return WorkloadConfig(num_partitions=args.partitions,
+                          objects_per_partition=args.objects,
+                          mpl=args.mpl, seed=args.seed)
+
+
+def cmd_demo(args) -> int:
+    workload = _workload(args)
+    db, layout = Database.with_workload(workload)
+    print(f"loaded {workload.num_partitions} x "
+          f"{workload.objects_per_partition} objects; running "
+          f"{args.algorithm} on partition 1 under MPL {workload.mpl} ...")
+    driver = WorkloadDriver(db.engine, layout,
+                            ExperimentConfig(workload=workload))
+    metrics = driver.run(reorganizer=db.reorganizer(
+        1, args.algorithm, plan=CompactionPlan()))
+    stats = metrics.reorg_stats
+    print(f"\n  objects migrated     {stats.objects_migrated}")
+    print(f"  parent refs patched  {stats.parent_patches}")
+    print(f"  max locks held       {stats.max_locks_held}")
+    print(f"  reorg duration       {stats.duration_ms / 1000:.1f} s "
+          f"(simulated)")
+    print(f"\n  concurrent txns      {metrics.completed} committed at "
+          f"{metrics.throughput_tps:.1f} tps")
+    print(f"  avg / max response   {metrics.avg_response_ms:.0f} / "
+          f"{metrics.max_response_ms:.0f} ms")
+    report = db.verify_integrity()
+    print(f"\n  integrity: {'OK' if report.ok else 'BROKEN'}")
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    workload = base_workload(SCALES[args.scale], mpl=30)
+    if args.experiment == "table2":
+        points = run_three_way(workload, scale=SCALES[args.scale])
+        print(format_table2(points))
+        return 0
+    sweeps = {
+        "mpl": ("mpl", SCALES[args.scale].mpl_points),
+        "partition-size": ("objects_per_partition",
+                           SCALES[args.scale].partition_size_points),
+        "update-prob": ("update_prob",
+                        SCALES[args.scale].update_prob_points),
+    }
+    field, points = sweeps[args.experiment]
+    rows = {}
+    for value in points:
+        rows[value] = run_three_way(workload.copy(**{field: value}),
+                                    scale=SCALES[args.scale])
+        print(f"  {field}={value} done", file=sys.stderr)
+    print(format_series(
+        f"{args.experiment} sweep - Throughput (tps)", field, list(points),
+        {name.upper(): [rows[v][name].throughput for v in points]
+         for name in ("nr", "ira", "pqr")}))
+    print()
+    print(format_series(
+        f"{args.experiment} sweep - Avg Response Time (ms)", field,
+        list(points),
+        {name.upper(): [rows[v][name].art for v in points]
+         for name in ("nr", "ira", "pqr")},
+        y_format="{:9.0f}"))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    workload = _workload(args)
+    db, layout = Database.with_workload(workload)
+    print(f"{'partition':>9} {'objects':>8} {'pages':>6} {'frag':>7} "
+          f"{'ERT entries':>12}")
+    for pid in db.store.partition_ids():
+        stats = db.partition_stats(pid)
+        ert = db.engine.ert_for(pid)
+        print(f"{pid:>9} {stats.live_objects:>8} {stats.page_count:>6} "
+              f"{stats.fragmentation:>7.1%} {len(ert):>12}")
+    report = db.verify_integrity()
+    print(f"\nintegrity: {'OK' if report.ok else report.problems()[:3]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-line Reorganization in Object Databases "
+                    "(SIGMOD 2000) — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="reorganize on-line under load")
+    demo.add_argument("--algorithm", default="ira",
+                      choices=sorted(REORGANIZERS))
+    _add_scale_arguments(demo)
+    demo.set_defaults(fn=cmd_demo)
+
+    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench.add_argument("experiment",
+                       choices=["table2", "mpl", "partition-size",
+                                "update-prob"])
+    bench.add_argument("--scale", default="quick",
+                       choices=sorted(SCALES))
+    bench.set_defaults(fn=cmd_bench)
+
+    inspect = sub.add_parser("inspect", help="print the physical layout")
+    _add_scale_arguments(inspect)
+    inspect.set_defaults(fn=cmd_inspect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Concurrency control: the lock manager and latches."""
+
+from .latch import LatchManager
+from .locks import LockManager, LockMode, LockStats, LockTimeoutError
+
+__all__ = [
+    "LatchManager",
+    "LockManager",
+    "LockMode",
+    "LockStats",
+    "LockTimeoutError",
+]

@@ -1,0 +1,244 @@
+"""Object-level lock manager.
+
+Shared/exclusive locks with FIFO queues, lock upgrades, and — exactly as
+in the paper's experiments — a lock-timeout mechanism for deadlock
+handling ("a lock timeout mechanism was used to handle deadlocks and was
+set to one second", §5).
+
+Two features exist specifically for the paper's algorithms:
+
+* **Strict 2PL bookkeeping** — ``release_all(tid)`` frees everything a
+  transaction holds at commit/abort time.
+* **Lock-history tracking (§4.1)** — when transactions are allowed to
+  release locks early (short-duration locks instead of strict 2PL), the
+  lock manager "keep[s] track of which active transactions had acquired
+  short duration locks on which objects"; the reorganizer then waits for
+  every such transaction to complete, which restores strict-2PL behaviour
+  *with respect to the reorganizer only*.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Set
+
+from ..sim import Event, Simulator, Wait, WaitTimeout
+
+
+class LockMode(enum.Enum):
+    S = "S"
+    X = "X"
+
+
+class LockTimeoutError(Exception):
+    """A lock request timed out — treated as a deadlock; the requester
+    aborts (user transactions) or retries (the reorganizer, §4.4)."""
+
+    def __init__(self, tid: int, key, mode: LockMode):
+        super().__init__(f"txn {tid} timed out requesting {mode.value} on {key}")
+        self.tid = tid
+        self.key = key
+        self.mode = mode
+
+
+class _Request:
+    __slots__ = ("tid", "mode", "event", "upgrade")
+
+    def __init__(self, tid: int, mode: LockMode, event: Event, upgrade: bool):
+        self.tid = tid
+        self.mode = mode
+        self.event = event
+        self.upgrade = upgrade
+
+
+class _LockEntry:
+    __slots__ = ("granted", "queue")
+
+    def __init__(self) -> None:
+        self.granted: Dict[int, LockMode] = {}
+        self.queue: Deque[_Request] = deque()
+
+
+class LockStats:
+    """Aggregate contention counters, reported by the benchmarks."""
+
+    __slots__ = ("requests", "waits", "timeouts", "total_wait_ms")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.waits = 0
+        self.timeouts = 0
+        self.total_wait_ms = 0.0
+
+    def __repr__(self) -> str:
+        return (f"<LockStats requests={self.requests} waits={self.waits} "
+                f"timeouts={self.timeouts}>")
+
+
+class LockManager:
+    """S/X locks keyed by arbitrary hashable keys (OIDs in practice)."""
+
+    def __init__(self, sim: Simulator, timeout_ms: float = 1000.0,
+                 track_history: bool = True):
+        self.sim = sim
+        self.timeout_ms = timeout_ms
+        self.track_history = track_history
+        self._table: Dict[object, _LockEntry] = {}
+        self._held_by: Dict[int, Set[object]] = {}
+        # §4.1 history: key -> active tids that ever locked it, + reverse.
+        self._history: Dict[object, Set[int]] = {}
+        self._tid_history: Dict[int, Set[object]] = {}
+        self.stats = LockStats()
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, tid: int, key, mode: LockMode,
+                timeout_ms: Optional[float] = None):
+        """Blocking acquire (generator).  Raises :class:`LockTimeoutError`
+        if not granted within the timeout."""
+        self.stats.requests += 1
+        entry = self._table.get(key)
+        if entry is None:
+            entry = _LockEntry()
+            self._table[key] = entry
+
+        held = entry.granted.get(tid)
+        if held is LockMode.X or held is mode:
+            return  # re-entrant; already strong enough
+        upgrade = held is LockMode.S and mode is LockMode.X
+
+        if upgrade:
+            if len(entry.granted) == 1:
+                entry.granted[tid] = LockMode.X
+                return
+        elif self._grantable(entry, mode) and not entry.queue:
+            self._grant(entry, tid, mode, key)
+            return
+
+        # Must wait.  Upgrades queue at the front (they already hold S and
+        # would otherwise deadlock behind requests blocked on that S).
+        gate = self.sim.event(name=f"lock:{key}:{tid}")
+        request = _Request(tid, mode, gate, upgrade)
+        if upgrade:
+            entry.queue.appendleft(request)
+        else:
+            entry.queue.append(request)
+        self.stats.waits += 1
+        wait_started = self.sim.now
+        effective_timeout = (timeout_ms if timeout_ms is not None
+                             else self.timeout_ms)
+        if effective_timeout == float("inf"):
+            effective_timeout = None  # wait forever (PQR's quiesce locks)
+        try:
+            yield Wait(gate, timeout=effective_timeout)
+        except WaitTimeout:
+            self.stats.timeouts += 1
+            try:
+                entry.queue.remove(request)
+            except ValueError:
+                pass  # granted concurrently with the timeout firing
+            else:
+                self._dispatch(entry, key)
+                raise LockTimeoutError(tid, key, mode) from None
+        finally:
+            self.stats.total_wait_ms += self.sim.now - wait_started
+
+    # -- release -------------------------------------------------------------------
+
+    def release(self, tid: int, key) -> None:
+        """Release one lock (short-duration-lock mode, §4.1)."""
+        entry = self._table.get(key)
+        if entry is None or tid not in entry.granted:
+            raise KeyError(f"txn {tid} holds no lock on {key}")
+        del entry.granted[tid]
+        held = self._held_by.get(tid)
+        if held is not None:
+            held.discard(key)
+        self._dispatch(entry, key)
+
+    def release_all(self, tid: int) -> Set[object]:
+        """Release everything ``tid`` holds (strict 2PL at txn end)."""
+        keys = self._held_by.pop(tid, set())
+        for key in keys:
+            entry = self._table.get(key)
+            if entry is not None and tid in entry.granted:
+                del entry.granted[tid]
+                self._dispatch(entry, key)
+        return keys
+
+    def transaction_finished(self, tid: int) -> None:
+        """Clear §4.1 lock history for a completed transaction."""
+        for key in self._tid_history.pop(tid, set()):
+            lockers = self._history.get(key)
+            if lockers is not None:
+                lockers.discard(tid)
+                if not lockers:
+                    del self._history[key]
+
+    # -- introspection ----------------------------------------------------------------
+
+    def holders(self, key) -> Dict[int, LockMode]:
+        entry = self._table.get(key)
+        return dict(entry.granted) if entry else {}
+
+    def holds(self, tid: int, key, mode: Optional[LockMode] = None) -> bool:
+        held = self._table.get(key)
+        if held is None or tid not in held.granted:
+            return False
+        if mode is None:
+            return True
+        return held.granted[tid] is LockMode.X or held.granted[tid] is mode
+
+    def held_keys(self, tid: int) -> Set[object]:
+        return set(self._held_by.get(tid, set()))
+
+    def lock_count(self, tid: int) -> int:
+        return len(self._held_by.get(tid, ()))
+
+    def waiter_count(self, key) -> int:
+        entry = self._table.get(key)
+        return len(entry.queue) if entry else 0
+
+    def ever_lockers(self, key) -> Set[int]:
+        """Active transactions that have ever locked ``key`` (§4.1)."""
+        return set(self._history.get(key, ()))
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _grantable(self, entry: _LockEntry, mode: LockMode,
+                   ignore_tid: Optional[int] = None) -> bool:
+        others = [m for t, m in entry.granted.items() if t != ignore_tid]
+        if not others:
+            return True
+        return mode is LockMode.S and all(m is LockMode.S for m in others)
+
+    def _grant(self, entry: _LockEntry, tid: int, mode: LockMode, key) -> None:
+        entry.granted[tid] = mode
+        self._held_by.setdefault(tid, set()).add(key)
+        if self.track_history:
+            self._history.setdefault(key, set()).add(tid)
+            self._tid_history.setdefault(tid, set()).add(key)
+
+    def _dispatch(self, entry: _LockEntry, key) -> None:
+        """Grant queued requests from the front while compatible (FIFO)."""
+        while entry.queue:
+            request = entry.queue[0]
+            if request.upgrade:
+                if self._grantable(entry, LockMode.X,
+                                   ignore_tid=request.tid):
+                    entry.queue.popleft()
+                    entry.granted[request.tid] = LockMode.X
+                    request.event.succeed()
+                    continue
+                break
+            if self._grantable(entry, request.mode):
+                entry.queue.popleft()
+                self._grant(entry, request.tid, request.mode, key)
+                request.event.succeed()
+                continue
+            break
+        if not entry.granted and not entry.queue and \
+                self._table.get(key) is entry:
+            # Keep the table from accumulating dead entries.
+            del self._table[key]

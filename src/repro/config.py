@@ -1,0 +1,129 @@
+"""Configuration for the engine's cost model and the paper's workload.
+
+``SystemConfig`` holds the simulated-hardware cost model.  The constants
+are calibrated so the no-reorganization baseline lands near the paper's
+absolute numbers on its 167 MHz UltraSPARC (NR throughput peaking around
+MPL 5 at ~40 tps and ~35 tps at MPL 30; average response time ~800 ms at
+MPL 30) — see EXPERIMENTS.md for the calibration.
+
+``WorkloadConfig`` is Table 1 of the paper, plus the structural constants
+of §5.2 (85-object cluster trees, which are exactly complete 4-ary trees
+of depth 3: 1 + 4 + 16 + 64 = 85).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class SystemConfig:
+    """Engine parameters and the simulated cost model (times in ms)."""
+
+    page_size: int = 4096
+    cpu_count: int = 1                    # the paper's machine: uniprocessor
+    lock_timeout_ms: float = 1000.0       # §5: "set to one second"
+    log_flush_ms: float = 8.0             # one log-disk write at commit
+
+    # Per-operation CPU costs for user transactions.
+    cpu_object_access_ms: float = 3.0     # one random-walk object access
+    cpu_update_extra_ms: float = 0.5      # additional work for an update
+    cpu_undo_per_op_ms: float = 0.3       # rollback work per logged change
+
+    # CPU costs for the reorganization utility.
+    cpu_traverse_ms: float = 0.4          # fuzzy traversal, per object
+    cpu_migrate_ms: float = 1.5           # copy + bookkeeping, per object
+    cpu_ref_patch_ms: float = 0.3         # per parent reference update
+
+    # Disk-resident setting (paper §7, future work): pages are cached in
+    # a buffer pool and page faults cost data-disk I/O.
+    disk_resident: bool = False
+    buffer_pool_pages: int = 512
+    disk_read_ms: float = 10.0
+    disk_write_ms: float = 10.0
+
+    ert_bucket_capacity: int = 8          # extendible-hash bucket size
+    track_lock_history: bool = True       # §4.1 support in the lock manager
+    enforce_ref_protocol: bool = True     # refs must come from read objects
+    strict_transactions: bool = True      # strict 2PL (relaxed per §4.1)
+
+    def copy(self, **overrides) -> "SystemConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class WorkloadConfig:
+    """Table 1 of the paper (defaults column) plus §5.2 structure."""
+
+    num_partitions: int = 10              # NUMPARTITIONS
+    objects_per_partition: int = 4080     # NUMOBJS (= 48 clusters of 85)
+    mpl: int = 30                         # MPL
+    ops_per_trans: int = 8                # OPSPERTRANS
+    update_prob: float = 0.5              # UPDATEPROB
+    glue_factor: float = 0.05             # GLUEFACTOR
+
+    cluster_size: int = 85                # §5.2: trees of 85 objects
+    branching: int = 4                    # 85 = 1 + 4 + 16 + 64
+    payload_bytes: int = 48               # ≈100-byte objects (§5.3.3)
+    ref_update_prob: float = 0.1          # update accesses that re-point
+                                          # the glue edge (drives the TRT)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.objects_per_partition % self.cluster_size:
+            raise ValueError(
+                f"objects_per_partition={self.objects_per_partition} must be "
+                f"a multiple of cluster_size={self.cluster_size}")
+        expected = sum(self.branching ** d for d in range(self._depth() + 1))
+        if expected != self.cluster_size:
+            raise ValueError(
+                f"cluster_size={self.cluster_size} is not a complete "
+                f"{self.branching}-ary tree (nearest: {expected})")
+
+    def _depth(self) -> int:
+        total, depth = 1, 0
+        while total < self.cluster_size:
+            depth += 1
+            total += self.branching ** depth
+        return depth
+
+    @property
+    def clusters_per_partition(self) -> int:
+        return self.objects_per_partition // self.cluster_size
+
+    @property
+    def tree_depth(self) -> int:
+        return self._depth()
+
+    def copy(self, **overrides) -> "WorkloadConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class ReorgConfig:
+    """Knobs for the reorganization utilities."""
+
+    #: Object migrations grouped per system transaction (§4.3).  The paper's
+    #: basic IRA uses one transaction per object migration.
+    migration_batch_size: int = 1
+    #: Collect unreachable objects discovered by the traversal (§4.6).
+    collect_garbage: bool = False
+    #: Checkpoint reorganizer state every N migrations (0 = never, §4.4).
+    checkpoint_every: int = 0
+    #: Retries when Find_Exact_Parents loses a deadlock (lock timeout).
+    max_deadlock_retries: int = 50
+
+
+@dataclass
+class ExperimentConfig:
+    """One performance-experiment run (driver settings)."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    system: SystemConfig = field(default_factory=SystemConfig)
+    reorg: ReorgConfig = field(default_factory=ReorgConfig)
+    #: Partition to reorganize (1-based; 0 is the persistent-root partition).
+    reorg_partition: int = 1
+    #: Simulated-time horizon (ms) for runs without a reorganizer (NR) or as
+    #: a safety bound; None = run until the reorganizer finishes.
+    horizon_ms: Optional[float] = None

@@ -1,0 +1,67 @@
+"""The paper's contribution: on-line reorganization algorithms.
+
+* :class:`IncrementalReorganizer` — basic IRA (§3).
+* :class:`TwoLockReorganizer` — the at-most-two-distinct-locks extension
+  (§4.2); also works when transactions use short-duration locks (§4.1).
+* :class:`PartitionQuiesceReorganizer` — the PQR baseline (§5.1).
+* :class:`OfflineReorganizer` — the quiescent-database baseline (§3.1).
+* :class:`CopyingGarbageCollector` / :class:`MarkAndSweepCollector` —
+  garbage collection built on the same machinery (§4.6).
+"""
+
+from .checkpointing import (
+    ReorgState,
+    ReorgStateStore,
+    rebuild_trt,
+    resume_reorganization,
+)
+from .gc import CopyingGarbageCollector, GcStats, MarkAndSweepCollector
+from .ira import IncrementalReorganizer, ReorgStats
+from .ira_twolock import TwoLockReorganizer, references_equal
+from .offline import OfflineReorganizer, migrate_partition_quiescent
+from .plan import (
+    ClusteringPlan,
+    CompactionPlan,
+    EvacuationPlan,
+    ParentLocalityPlan,
+    RelocationPlan,
+)
+from .pqr import PartitionQuiesceReorganizer
+from .selection import (
+    PartitionSelector,
+    fragmentation_score,
+    garbage_estimate,
+)
+from .traversal import (
+    TraversalResult,
+    find_objects_and_approx_parents,
+    fuzzy_traversal,
+)
+
+__all__ = [
+    "ClusteringPlan",
+    "CompactionPlan",
+    "CopyingGarbageCollector",
+    "EvacuationPlan",
+    "GcStats",
+    "ParentLocalityPlan",
+    "IncrementalReorganizer",
+    "MarkAndSweepCollector",
+    "OfflineReorganizer",
+    "PartitionQuiesceReorganizer",
+    "PartitionSelector",
+    "RelocationPlan",
+    "ReorgState",
+    "ReorgStateStore",
+    "ReorgStats",
+    "TraversalResult",
+    "TwoLockReorganizer",
+    "find_objects_and_approx_parents",
+    "fragmentation_score",
+    "fuzzy_traversal",
+    "garbage_estimate",
+    "migrate_partition_quiescent",
+    "rebuild_trt",
+    "references_equal",
+    "resume_reorganization",
+]

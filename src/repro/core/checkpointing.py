@@ -1,0 +1,209 @@
+"""Reorganizer-state checkpointing and resume (paper §4.4).
+
+A system failure during reorganization never corrupts the database —
+ARIES recovery undoes the in-flight migration transaction — but the work
+already done (the fuzzy traversal, the migrations committed so far) would
+be lost if IRA simply restarted.  §4.4's remedy: periodically checkpoint
+``Traversed_Objects``/``Parent_Lists`` plus migration progress, and after
+a crash *reconstruct the TRT from the log* written since the checkpoint,
+then continue migrating from where the reorganizer left off.
+
+``rebuild_trt`` is that reconstruction: a one-shot re-analysis of the log
+suffix with the same rules the live log analyzer applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..refs import TemporaryReferenceTable
+from ..storage import ObjectImage
+from ..storage.oid import Oid
+from ..wal.records import (
+    BeginRecord,
+    ClrRecord,
+    CommitRecord,
+    EndRecord,
+    ObjCreateRecord,
+    ObjDeleteRecord,
+    RefUpdateRecord,
+)
+
+
+@dataclass
+class ReorgState:
+    """A checkpoint of the reorganizer's working state."""
+
+    algorithm: str
+    partition_id: int
+    order: List[Oid]
+    parents: Dict[Oid, Set[Oid]]
+    mapping: Dict[Oid, Oid]
+    migrated: Set[Oid]
+    allocated_at_traversal: Set[Oid]
+    log_lsn: int
+    #: Two-lock extension only: the (old, new) pair mid-migration, if any.
+    in_progress: Optional[Tuple[Oid, Oid]] = None
+    #: Compaction floor of the partition (fresh-page allocation boundary).
+    relocation_floor: int = 0
+    #: TRT contents at checkpoint time (§4.4's "optionally, the TRT could
+    #: also be checkpointed"); rolled forward from ``log_lsn`` at resume.
+    trt_entries: List = field(default_factory=list)
+
+
+class ReorgStateStore:
+    """Durable store for reorganizer checkpoints (a checkpoint file)."""
+
+    def __init__(self) -> None:
+        self._state: Optional[ReorgState] = None
+        self.saves = 0
+
+    def save(self, state: ReorgState) -> None:
+        self._state = state
+        self.saves += 1
+
+    def load(self) -> Optional[ReorgState]:
+        return self._state
+
+    def clear(self) -> None:
+        self._state = None
+
+
+def rebuild_trt(engine, partition_id: int, from_lsn: int,
+                preload=()) -> TemporaryReferenceTable:
+    """Reconstruct a partition's TRT from the log suffix (§4.4).
+
+    ``preload`` (the checkpointed TRT contents) is replayed first, then
+    the log analyzer's rules are re-applied to every record with
+    ``lsn > from_lsn``: reference updates by user transactions whose
+    referenced object is in the partition become TRT tuples; transaction
+    ENDs trigger the §4.5 purges.  System transactions are identified by
+    scanning BEGIN records over the *whole* log (a transaction's BEGIN
+    may precede the reorg checkpoint).
+    """
+    trt = TemporaryReferenceTable(
+        partition_id, bucket_capacity=engine.config.ert_bucket_capacity)
+    for entry in preload:
+        if entry.action == "D":
+            trt.record_delete(entry.child, entry.parent, entry.tid)
+        else:
+            trt.record_insert(entry.child, entry.parent, entry.tid)
+    # Transactions owned by THIS partition's reorganizer are skipped,
+    # mirroring the live analyzer's rule.
+    owned_tids: Set[int] = set()
+    for record in engine.log.records():
+        if isinstance(record, BeginRecord) and record.is_system and \
+                record.owner_partition == partition_id:
+            owned_tids.add(record.tid)
+
+    def note(tid: int, parent: Oid, old_child, new_child) -> None:
+        if tid in owned_tids:
+            return
+        if old_child is not None and old_child.partition == partition_id:
+            trt.record_delete(old_child, parent, tid)
+        if new_child is not None and new_child.partition == partition_id:
+            trt.record_insert(new_child, parent, tid)
+
+    for record in engine.log.records(from_lsn=from_lsn + 1):
+        if isinstance(record, RefUpdateRecord):
+            note(record.tid, record.parent, record.old_child,
+                 record.new_child)
+        elif isinstance(record, ObjCreateRecord):
+            for child in ObjectImage.decode(record.image).children():
+                note(record.tid, record.oid, None, child)
+        elif isinstance(record, ObjDeleteRecord):
+            for child in ObjectImage.decode(record.before_image).children():
+                note(record.tid, record.oid, child, None)
+        elif isinstance(record, ClrRecord):
+            inner = record.decode_action()
+            if isinstance(inner, RefUpdateRecord):
+                note(inner.tid, inner.parent, inner.old_child,
+                     inner.new_child)
+        elif isinstance(record, EndRecord):
+            trt.on_transaction_end(record.tid,
+                                   engine.config.strict_transactions)
+    return trt
+
+
+def committed_migrations_from_log(engine, partition_id: int,
+                                  from_lsn: int) -> Dict[Oid, Oid]:
+    """Reconstruct old→new pairs of migrations committed after a reorg
+    checkpoint (§4.4).
+
+    Every IRA migration patches at least one parent with a system-
+    transaction REF_UPDATE whose old child is the migrated object and
+    whose new child is its copy, so the committed system transactions'
+    reference updates carry the mapping.  Pairs are sanity-filtered: the
+    old address must be gone and the new one live.
+    """
+    owned_tids: Set[int] = set()
+    committed: Set[int] = set()
+    for record in engine.log.records():
+        if isinstance(record, BeginRecord) and record.is_system and \
+                record.owner_partition == partition_id:
+            owned_tids.add(record.tid)
+        elif record.lsn > from_lsn and isinstance(record, CommitRecord):
+            committed.add(record.tid)
+    pairs: Dict[Oid, Oid] = {}
+    for record in engine.log.records(from_lsn=from_lsn + 1):
+        if not isinstance(record, RefUpdateRecord):
+            continue
+        if record.tid not in owned_tids or record.tid not in committed:
+            continue
+        old, new = record.old_child, record.new_child
+        if old is None or new is None or old == new:
+            continue
+        if old.partition != partition_id:
+            continue
+        if not engine.store.exists(old) and engine.store.exists(new):
+            pairs[old] = new
+    return pairs
+
+
+def resume_reorganization(engine, state_store: ReorgStateStore,
+                          plan=None, reorg_config=None):
+    """Build a reorganizer that continues from the last checkpoint.
+
+    Rolls the checkpointed state forward over the log suffix (migrations
+    committed after the checkpoint, §4.4), rebuilds the TRT, restores the
+    relocation floor, and returns a ready-to-run reorganizer — or ``None``
+    when no checkpoint exists (start afresh per §4.4).
+    """
+    from .ira import IncrementalReorganizer
+    from .ira_twolock import TwoLockReorganizer
+
+    state = state_store.load()
+    if state is None:
+        return None
+
+    # Fold migrations that committed after the checkpoint into the state.
+    recovered = committed_migrations_from_log(
+        engine, state.partition_id, state.log_lsn)
+    for old, new in recovered.items():
+        state.mapping[old] = new
+        state.migrated.add(old)
+        if engine.store.exists(new):
+            for child in engine.store.children_of(new):
+                parent_set = state.parents.get(child)
+                if parent_set is not None and old in parent_set:
+                    parent_set.discard(old)
+                    parent_set.add(new)
+
+    cls = (TwoLockReorganizer if state.algorithm == "ira-2lock"
+           else IncrementalReorganizer)
+    reorganizer = cls(engine, state.partition_id, plan=plan,
+                      reorg_config=reorg_config, state_store=state_store)
+    reorganizer.plan.prepare(engine, state.partition_id)
+    engine.store.partition(state.partition_id).relocation_floor = \
+        state.relocation_floor
+    reorganizer.resume_from(state)
+
+    trt = rebuild_trt(engine, state.partition_id, state.log_lsn,
+                      preload=state.trt_entries)
+    # Register the rebuilt TRT so the live analyzer keeps extending it
+    # once transactions resume; IRA's run() adopts it rather than
+    # activating a fresh one.
+    engine.analyzer.activate_trt(trt)
+    reorganizer.trt = trt
+    return reorganizer

@@ -1,0 +1,382 @@
+"""The Incremental Reorganization Algorithm (IRA) — paper §3.
+
+IRA migrates every object of a partition to a plan-chosen new location
+while user transactions keep running, holding locks only on the parents
+of the *one* object currently being migrated:
+
+1. ``Find_Objects_And_Approx_Parents`` (Fig. 3): a fuzzy traversal —
+   latches only — finds the live objects and approximate parent lists.
+2. Per object (Fig. 4 ``Find_Exact_Parents``): write-lock the approximate
+   parents, discard the ones that no longer reference the object, then
+   drain the TRT tuples for the object — locking each tuple's parent and
+   keeping it if the reference is (still/now) present — until no tuple
+   remains.  At that point Lemmas 3.2/3.3 guarantee no committed object
+   and no active transaction can reach the old address.
+3. ``Move_Object_And_Update_Refs`` (Fig. 5): copy the object, patch every
+   parent's reference slot, fix the ERTs (done here by the log analyzer
+   mining the migration's own log records), fix the in-memory parent
+   lists of the object's children, delete the old copy, release locks.
+
+Each migration runs inside a system transaction; ``migration_batch_size``
+groups several migrations per transaction to amortize the commit flush
+(§4.3).  A lock timeout (= deadlock, §4.4) aborts the current batch and
+retries it.  When the engine runs transactions with short-duration locks
+instead of strict 2PL, IRA additionally waits, after locking any object,
+for every active transaction that ever locked it (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from ..concurrency import LockMode, LockTimeoutError
+from ..config import ReorgConfig
+from ..errors import ReorganizationError
+from ..storage.oid import Oid
+from .plan import RelocationPlan
+from .traversal import (
+    TraversalResult,
+    find_objects_and_approx_parents,
+    fuzzy_traversal,
+)
+
+
+@dataclass
+class ReorgStats:
+    """What a reorganization run did; returned by ``run()``."""
+
+    algorithm: str = "ira"
+    partition_id: int = -1
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+    objects_found: int = 0
+    objects_migrated: int = 0
+    garbage_collected: int = 0
+    parent_patches: int = 0
+    deadlock_retries: int = 0
+    max_locks_held: int = 0
+    #: Lock acquisitions on objects outside the partition (the §7 metric
+    #: the ParentLocalityPlan ordering minimizes).
+    external_lock_acquisitions: int = 0
+    trt_peak: int = 0
+    checkpoints_taken: int = 0
+    #: old address -> new address for every migrated object.
+    mapping: Dict[Oid, Oid] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+
+class IncrementalReorganizer:
+    """On-line reorganization of one partition (basic IRA, §3)."""
+
+    algorithm_name = "ira"
+
+    def __init__(self, engine, partition_id: int,
+                 plan: Optional[RelocationPlan] = None,
+                 reorg_config: Optional[ReorgConfig] = None,
+                 state_store=None, transform=None):
+        self.engine = engine
+        self.partition_id = partition_id
+        self.plan = plan or RelocationPlan()
+        self.cfg = reorg_config or ReorgConfig()
+        self.state_store = state_store
+        #: Optional ``(oid, image) -> image`` hook applied to each object
+        #: as it migrates — the schema-evolution use case of §1 (e.g.
+        #: widening every object's payload).  The transform must preserve
+        #: the reference slots; only the payload may change.
+        self.transform = transform
+        self.stats = ReorgStats(algorithm=self.algorithm_name,
+                                partition_id=partition_id)
+        self.trt = None
+        # Working state (checkpointable, §4.4).
+        self._parents: Dict[Oid, Set[Oid]] = {}
+        self._order: List[Oid] = []
+        self._mapping: Dict[Oid, Oid] = self.stats.mapping
+        self._migrated: Set[Oid] = set()
+        self._allocated_at_traversal: Set[Oid] = set()
+        self._resumed = False
+
+    # -- top level (Fig. 1) -------------------------------------------------------
+
+    def run(self) -> Generator[Any, Any, ReorgStats]:
+        self.stats.started_ms = self.engine.sim.now
+        if self.trt is None:
+            self.trt = self.engine.activate_trt(self.partition_id)
+        try:
+            if not self._resumed:
+                # §4.5: wait for transactions active at start so that every
+                # relevant pointer update is guaranteed to be in the TRT.
+                yield from self.engine.txns.wait_for_quiesce()
+                self.plan.prepare(self.engine, self.partition_id)
+                yield from self._discover()
+            yield from self._migrate_all()
+            if self.cfg.collect_garbage:
+                yield from self._collect_garbage()
+            self.plan.finalize(self.engine, self.partition_id)
+        finally:
+            self.engine.deactivate_trt(self.partition_id)
+        self.stats.trt_peak = self.trt.stats.peak_size
+        self.stats.finished_ms = self.engine.sim.now
+        return self.stats
+
+    # -- step 1: discovery ---------------------------------------------------------
+
+    def _discover(self) -> Generator[Any, Any, None]:
+        if self.cfg.collect_garbage:
+            # ERT-seeded traversal: only live objects are found, so the
+            # rest of the partition is detectable garbage (§3.4, §4.6).
+            result = yield from find_objects_and_approx_parents(
+                self.engine, self.partition_id, self.trt)
+        else:
+            # Allocation-seeded traversal (§3.4's alternative): visit every
+            # allocated object so even unreachable ones are migrated with
+            # their reference structure intact.
+            result = TraversalResult()
+            seeds = list(self.engine.store.live_oids(self.partition_id))
+            yield from fuzzy_traversal(self.engine, self.partition_id,
+                                       seeds, result)
+            # TRT reseeding still applies (Fig. 3 L2) for objects created
+            # by in-flight inserts we have not seen.
+            while True:
+                missed = [oid for oid in self.trt.referenced_objects()
+                          if not result.visited(oid)
+                          and self.engine.store.exists(oid)]
+                if not missed:
+                    break
+                yield from fuzzy_traversal(self.engine, self.partition_id,
+                                           missed, result)
+        self._parents = result.parents
+        self._order = self.plan.order(result.ordered_objects())
+        self._allocated_at_traversal = set(
+            self.engine.store.live_oids(self.partition_id))
+        self.stats.objects_found = len(self._order)
+
+    # -- step 2: migration loop ---------------------------------------------------------
+
+    def _migrate_all(self) -> Generator[Any, Any, None]:
+        batch_size = max(1, self.cfg.migration_batch_size)
+        pending = [oid for oid in self._order if oid not in self._migrated]
+        for start in range(0, len(pending), batch_size):
+            batch = [oid for oid in pending[start:start + batch_size]
+                     if oid not in self._migrated
+                     and self.engine.store.exists(oid)]
+            if not batch:
+                continue
+            yield from self._migrate_batch(batch)
+            if self.state_store is not None and self.cfg.checkpoint_every:
+                if len(self._migrated) % self.cfg.checkpoint_every < batch_size:
+                    self._checkpoint_state()
+
+    def _migrate_batch(self, batch: List[Oid]) -> Generator[Any, Any, None]:
+        """Migrate a group of objects in one system transaction (§4.3),
+        retrying the whole batch after a deadlock-resolving timeout."""
+        for attempt in range(self.cfg.max_deadlock_retries + 1):
+            txn = self.engine.txns.begin(system=True, reorg_partition=self.partition_id)
+            batch_mapping: Dict[Oid, Oid] = {}
+            keep_locked: Set[Oid] = set()
+            bookkeeping: List[tuple] = []
+            try:
+                for oid in batch:
+                    parents = yield from self._find_exact_parents(
+                        txn, oid, batch_mapping, keep_locked)
+                    yield from self._move_object(
+                        txn, oid, parents, batch_mapping, bookkeeping)
+                yield from txn.commit()
+            except LockTimeoutError:
+                self.stats.deadlock_retries += 1
+                yield from txn.abort()
+                continue
+            self._apply_bookkeeping(batch_mapping, bookkeeping)
+            return
+        raise ReorganizationError(
+            f"batch starting at {batch[0]} exceeded "
+            f"{self.cfg.max_deadlock_retries} deadlock retries")
+
+    # -- Fig. 4: Find_Exact_Parents ------------------------------------------------------
+
+    def _find_exact_parents(self, txn, oid: Oid,
+                            batch_mapping: Dict[Oid, Oid],
+                            keep_locked: Set[Oid]
+                            ) -> Generator[Any, Any, Set[Oid]]:
+        store = self.engine.store
+        ert = self.engine.ert_for(self.partition_id)
+        exact: Set[Oid] = set()
+
+        # S1: lock the approximate parents — traversal-found intra-partition
+        # parents (translated through in-batch migrations) plus the ERT's
+        # current external parents.
+        approx = {self._translate(p, batch_mapping)
+                  for p in self._parents.get(oid, ())}
+        approx |= ert.parents_of(oid)
+        for parent in sorted(approx):
+            yield from self._lock_for_reorg(txn, parent)
+            if store.exists(parent) and \
+                    store.read_object(parent).references(oid):
+                exact.add(parent)
+                keep_locked.add(parent)
+            elif parent not in keep_locked:
+                self.engine.locks.release(txn.tid, parent)
+
+        # S2: drain the TRT tuples whose referenced object is oid.
+        while True:
+            entries = self.trt.entries_for(oid)
+            if not entries:
+                break
+            entry = min(entries, key=lambda e: (e.parent, e.tid, e.action))
+            # Translate through committed migrations (stable across deadlock
+            # retries) and then through this batch's in-flight migrations.
+            stable = self._mapping.get(entry.parent, entry.parent)
+            parent = batch_mapping.get(stable, stable)
+            yield from self._lock_for_reorg(txn, parent)
+            self.trt.pop_entry(entry)
+            if store.exists(parent) and \
+                    store.read_object(parent).references(oid):
+                exact.add(parent)
+                keep_locked.add(parent)
+                # Remember across deadlock retries: tuples are consumed, so
+                # retries must re-verify this parent from the approx list.
+                # Record the committed-stable address — the batch mapping
+                # rolls back if this batch aborts.
+                self._parents.setdefault(oid, set()).add(stable)
+            elif parent not in keep_locked:
+                self.engine.locks.release(txn.tid, parent)
+
+        self.stats.max_locks_held = max(
+            self.stats.max_locks_held, self.engine.locks.lock_count(txn.tid))
+        return exact
+
+    def _lock_for_reorg(self, txn, target: Oid) -> Generator[Any, Any, None]:
+        if target.partition != self.partition_id and \
+                not self.engine.locks.holds(txn.tid, target):
+            self.stats.external_lock_acquisitions += 1
+        yield from txn.lock(target, LockMode.X)
+        if not self.engine.config.strict_transactions:
+            # §4.1: transactions release locks early, so also wait for every
+            # active transaction that ever locked this object — it may hold
+            # a copied-out reference in its local memory.
+            lockers = self.engine.locks.ever_lockers(target) - {txn.tid}
+            if lockers:
+                yield from self.engine.txns.wait_for(lockers)
+
+    # -- Fig. 5: Move_Object_And_Update_Refs ----------------------------------------------
+
+    def _move_object(self, txn, oid: Oid, parents: Set[Oid],
+                     batch_mapping: Dict[Oid, Oid],
+                     bookkeeping: List[tuple]) -> Generator[Any, Any, Oid]:
+        engine = self.engine
+        cfg = engine.config
+        image = engine.store.read_object(oid)
+        if self.transform is not None:
+            original_refs = [ref for _, ref in image.refs()]
+            image = self.transform(oid, image)
+            if [ref for _, ref in image.refs()] != original_refs:
+                raise ReorganizationError(
+                    f"transform changed the references of {oid}")
+        # One consolidated CPU burst per migration: the copy plus the
+        # per-parent patch work (a real reorganizer does not reschedule
+        # between the micro-steps of one object's migration).
+        burst = (cfg.cpu_migrate_ms + 2 * cfg.cpu_update_extra_ms
+                 + cfg.cpu_ref_patch_ms * max(1, len(parents)))
+        yield from engine.cpu.use(burst)
+        new_oid = yield from txn.create_object(
+            self.plan.target_partition(oid), image,
+            fresh_only=self.plan.fresh_only, cpu_ms=0)
+        # Patch every reference to the old address.  A self-reference lives
+        # in the *new* copy now; all other parents are write-locked.
+        for parent in sorted(parents):
+            patch_target = new_oid if parent == oid else parent
+            for slot in engine.store.read_object(
+                    patch_target).slots_referencing(oid):
+                yield from txn.update_ref(patch_target, slot, new_oid,
+                                          cpu_ms=0)
+                self.stats.parent_patches += 1
+        # The ERT updates Fig. 5 lists are produced by the log analyzer
+        # from this transaction's OBJ_CREATE / REF_UPDATE / OBJ_DELETE
+        # records — no direct table surgery here.
+        yield from txn.delete_object(oid, cpu_ms=0)
+        self.stats.max_locks_held = max(
+            self.stats.max_locks_held, engine.locks.lock_count(txn.tid))
+        batch_mapping[oid] = new_oid
+        # Defer in-memory bookkeeping to commit time (a deadlock retry must
+        # not leave phantom parent-list edits behind).
+        children_here = [c for c in image.children()
+                         if c.partition == self.partition_id]
+        bookkeeping.append((oid, new_oid, children_here))
+        return new_oid
+
+    def _apply_bookkeeping(self, batch_mapping: Dict[Oid, Oid],
+                           bookkeeping: List[tuple]) -> None:
+        for oid, new_oid, children_here in bookkeeping:
+            # Fig. 5: for each not-yet-migrated child in the partition,
+            # replace oid by new_oid in its parent list.
+            for child in children_here:
+                parent_set = self._parents.get(child)
+                if parent_set is not None and oid in parent_set:
+                    parent_set.discard(oid)
+                    parent_set.add(new_oid)
+            self._mapping[oid] = new_oid
+            self._migrated.add(oid)
+            self.stats.objects_migrated += 1
+
+    def _translate(self, oid: Oid, batch_mapping: Dict[Oid, Oid]) -> Oid:
+        """Committed migrations first, then this batch's in-flight ones."""
+        oid = self._mapping.get(oid, oid)
+        return batch_mapping.get(oid, oid)
+
+    # -- garbage collection (§4.6) ------------------------------------------------------
+
+    def _collect_garbage(self) -> Generator[Any, Any, None]:
+        """Free objects the traversal proved unreachable.
+
+        Lemma 3.1: every live object was traversed, so anything allocated
+        at traversal time and never visited is garbage.
+        """
+        found = set(self._order)
+        garbage = [oid for oid in sorted(self._allocated_at_traversal)
+                   if oid not in found
+                   and oid not in self.trt.created_since_activation
+                   and self.engine.store.exists(oid)]
+        for start in range(0, len(garbage), 32):
+            txn = self.engine.txns.begin(system=True, reorg_partition=self.partition_id)
+            chunk = garbage[start:start + 32]
+            yield from self.engine.cpu.use(
+                self.engine.config.cpu_update_extra_ms * len(chunk))
+            for oid in chunk:
+                yield from txn.delete_object(oid, cpu_ms=0)
+                self.stats.garbage_collected += 1
+            yield from txn.commit()
+
+    # -- §4.4: reorganizer state checkpointing --------------------------------------------
+
+    def _checkpoint_state(self) -> None:
+        from .checkpointing import ReorgState
+        state = ReorgState(
+            algorithm=self.algorithm_name,
+            partition_id=self.partition_id,
+            order=list(self._order),
+            parents={k: set(v) for k, v in self._parents.items()},
+            mapping=dict(self._mapping),
+            migrated=set(self._migrated),
+            allocated_at_traversal=set(self._allocated_at_traversal),
+            log_lsn=self.engine.log.last_lsn,
+            relocation_floor=self.engine.store.partition(
+                self.partition_id).relocation_floor,
+            trt_entries=self.trt.entries(),
+        )
+        self.state_store.save(state)
+        self.stats.checkpoints_taken += 1
+
+    def resume_from(self, state) -> None:
+        """Adopt checkpointed state (§4.4) — skips quiesce wait, plan
+        preparation and traversal; the caller must have rebuilt the TRT
+        from the log (see :mod:`repro.core.checkpointing`)."""
+        self._order = list(state.order)
+        self._parents = {k: set(v) for k, v in state.parents.items()}
+        self._mapping.update(state.mapping)
+        self._migrated = set(state.migrated)
+        self._allocated_at_traversal = set(state.allocated_at_traversal)
+        self.stats.objects_found = len(self._order)
+        self._resumed = True

@@ -1,0 +1,247 @@
+"""The two-lock extension of IRA (paper §4.2).
+
+Basic IRA locks *all* parents of an object before migrating it, which for
+popular objects can lock a substantial portion of the database.  The
+extension instead:
+
+* locks the object being migrated — both the old and the new location —
+  for the whole migration, via an *anchor* transaction that holds those
+  locks across the per-parent updates;
+* creates the new copy in its own committed transaction (so the copy
+  survives a crash — the mixed-pointer state §4.2 describes);
+* then locks parents **one at a time**, patching each parent's reference
+  inside its own small system transaction and releasing its lock before
+  taking the next (grouping per §4.3 is supported via
+  ``migration_batch_size``, here interpreted as parent updates per
+  transaction);
+* finally deletes the old copy and commits the anchor.
+
+At any instant the reorganizer holds locks on at most **two distinct
+objects**: the object being migrated (its two locations) and one parent.
+
+New references to the *new* location are fine; new references to the
+*old* location keep being detected through the TRT — the parent loop
+drains TRT tuples until none remain, re-patching parents as needed.
+
+Reference-equality caveat (paper §4.2): while an object is mid-migration
+two parents may hold references to its old and new locations.  The
+:func:`references_equal` helper implements the compare that treats the
+two addresses of an in-flight migration as equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from ..concurrency import LockMode, LockTimeoutError
+from ..errors import ReorganizationError
+from ..storage.oid import Oid
+from .ira import IncrementalReorganizer
+
+
+def references_equal(ref_a: Oid, ref_b: Oid,
+                     in_flight: Dict[Oid, Oid]) -> bool:
+    """Reference comparison aware of in-flight migrations (§4.2).
+
+    ``in_flight`` maps old addresses of objects currently being migrated
+    to their new addresses; two references are equal if they resolve to
+    the same object under that mapping.
+    """
+    resolve = lambda r: in_flight.get(r, r)  # noqa: E731
+    return resolve(ref_a) == resolve(ref_b)
+
+
+class TwoLockReorganizer(IncrementalReorganizer):
+    """IRA with the §4.2 at-most-two-distinct-locks migration protocol."""
+
+    algorithm_name = "ira-2lock"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Old -> new addresses of migrations currently in flight, exposed
+        #: for the §4.2-aware reference comparison.
+        self.in_flight: Dict[Oid, Oid] = {}
+        self.stats.algorithm = self.algorithm_name
+
+    # The migration loop drives one object at a time; batching groups
+    # parent updates, not whole objects.
+    def _migrate_all(self) -> Generator[Any, Any, None]:
+        in_progress = getattr(self, "_resume_in_progress", None)
+        if in_progress is not None:
+            oid, new_oid = in_progress
+            # §4.2 failure handling: the database may hold references to
+            # both locations.  Lock both, finish patching, delete the old.
+            if self.engine.store.exists(oid):
+                if not self.engine.store.exists(new_oid):
+                    new_oid = None  # creation never committed: start over
+                yield from self._migrate_one(oid, resumed_new_oid=new_oid)
+            self._resume_in_progress = None
+        pending = [oid for oid in self._order if oid not in self._migrated]
+        for oid in pending:
+            if oid in self._migrated or not self.engine.store.exists(oid):
+                continue
+            yield from self._migrate_one(oid)
+            if self.state_store is not None and self.cfg.checkpoint_every:
+                if len(self._migrated) % self.cfg.checkpoint_every == 0:
+                    self._checkpoint_state()
+
+    def _migrate_one(self, oid: Oid,
+                     resumed_new_oid: Optional[Oid] = None
+                     ) -> Generator[Any, Any, None]:
+        engine = self.engine
+        anchor = engine.txns.begin(system=True, reorg_partition=self.partition_id)
+        try:
+            # Lock the old location for the whole migration.
+            yield from self._lock_for_reorg(anchor, oid)
+
+            if resumed_new_oid is None:
+                # Create the new copy in its own committed transaction so a
+                # crash never strands committed parent patches pointing at
+                # an uncreated object.
+                image = engine.store.read_object(oid)
+                if self.transform is not None:
+                    original_refs = [ref for _, ref in image.refs()]
+                    image = self.transform(oid, image)
+                    if [ref for _, ref in image.refs()] != original_refs:
+                        raise ReorganizationError(
+                            f"transform changed the references of {oid}")
+                yield from engine.cpu.use(engine.config.cpu_migrate_ms)
+                create_txn = engine.txns.begin(system=True, reorg_partition=self.partition_id)
+                new_oid = yield from create_txn.create_object(
+                    self.plan.target_partition(oid), image,
+                    fresh_only=self.plan.fresh_only, cpu_ms=0)
+                yield from create_txn.commit()
+            else:
+                new_oid = resumed_new_oid
+            # Lock the new location too (it is unreachable until the first
+            # parent is patched, so the gap after create-commit is safe).
+            yield from anchor.lock(new_oid, LockMode.X)
+            self.in_flight[oid] = new_oid
+
+            if self.state_store is not None:
+                self._checkpoint_state(in_progress=(oid, new_oid))
+
+            yield from self._patch_parents_one_at_a_time(anchor, oid, new_oid)
+
+            # All parents now reference the new location; delete the old
+            # copy inside the anchor (which holds its lock) and commit.
+            yield from anchor.delete_object(oid, cpu_ms=0)
+            yield from anchor.commit()
+        except LockTimeoutError:
+            # Deadlock: give everything back and retry this object.  The
+            # new copy (committed in its own transaction) is reused — the
+            # parents already patched legitimately point at it.
+            self.stats.deadlock_retries += 1
+            yield from anchor.abort()
+            retry_new = self.in_flight.pop(oid, None)
+            if self.stats.deadlock_retries > self.cfg.max_deadlock_retries:
+                raise ReorganizationError(
+                    f"{oid}: exceeded {self.cfg.max_deadlock_retries} "
+                    f"deadlock retries")
+            yield from self._migrate_one(oid, resumed_new_oid=retry_new)
+            return
+        del self.in_flight[oid]
+        self._finish_object(oid, new_oid)
+
+    def _patch_parents_one_at_a_time(self, anchor, oid: Oid, new_oid: Oid
+                                     ) -> Generator[Any, Any, None]:
+        engine = self.engine
+        batch = max(1, self.cfg.migration_batch_size)
+        queue: List[Oid] = sorted(
+            {self._translate(p, {}) for p in self._parents.get(oid, ())}
+            | engine.ert_for(self.partition_id).parents_of(oid))
+        while True:
+            # Refill from the TRT: tuples referencing the old address name
+            # parents that may (still or again) point at it.
+            while not queue:
+                entries = self.trt.entries_for(oid)
+                if not entries:
+                    break
+                entry = min(entries,
+                            key=lambda e: (e.parent, e.tid, e.action))
+                if self.trt.pop_entry(entry):
+                    stable = self._translate(entry.parent, {})
+                    queue.append(stable)
+                    # Survive deadlock retries: the tuple is consumed, so
+                    # remember the parent in the approximate list.
+                    self._parents.setdefault(oid, set()).add(stable)
+            if not queue:
+                break
+            patch_txn = engine.txns.begin(system=True, reorg_partition=self.partition_id)
+            patched = 0
+            try:
+                while queue and patched < batch:
+                    parent = queue.pop(0)
+                    if parent == oid or parent == new_oid:
+                        # Self-reference (under either address — in an
+                        # evacuation the new copy's own reference into the
+                        # old partition lands in the ERT): the slot lives
+                        # in the new copy, whose lock the anchor holds, so
+                        # patch via the anchor.
+                        yield from self._patch_slots(anchor, new_oid, oid,
+                                                     new_oid)
+                        patched += 1
+                        continue
+                    yield from self._lock_for_reorg(patch_txn, parent)
+                    if engine.store.exists(parent):
+                        yield from self._patch_slots(patch_txn, parent, oid,
+                                                     new_oid)
+                    patched += 1
+                    self._note_lock_footprint(anchor, patch_txn)
+                yield from patch_txn.commit()
+            except LockTimeoutError:
+                yield from patch_txn.abort()
+                raise
+
+    def _patch_slots(self, txn, holder: Oid, old_child: Oid,
+                     new_child: Oid) -> Generator[Any, Any, None]:
+        slots = self.engine.store.read_object(
+            holder).slots_referencing(old_child)
+        if slots:
+            yield from self.engine.cpu.use(
+                self.engine.config.cpu_ref_patch_ms * len(slots))
+        for slot in slots:
+            yield from txn.update_ref(holder, slot, new_child, cpu_ms=0)
+            self.stats.parent_patches += 1
+
+    def _note_lock_footprint(self, anchor, patch_txn) -> None:
+        # The anchor holds the migrating object's two locations = one
+        # distinct object; the patch transaction holds one parent.
+        raw = (self.engine.locks.lock_count(anchor.tid)
+               + self.engine.locks.lock_count(patch_txn.tid))
+        self.stats.max_locks_held = max(self.stats.max_locks_held, raw)
+
+    def _finish_object(self, oid: Oid, new_oid: Oid) -> None:
+        image_children = []
+        # The new copy's children in this partition need their parent lists
+        # repointed (Fig. 5 bookkeeping, same as the base algorithm).
+        if self.engine.store.exists(new_oid):
+            image_children = [
+                c for c in self.engine.store.children_of(new_oid)
+                if c.partition == self.partition_id]
+        self._apply_bookkeeping({}, [(oid, new_oid, image_children)])
+
+    # -- §4.4 resume -------------------------------------------------------------------
+
+    def _checkpoint_state(self, in_progress=None) -> None:
+        from .checkpointing import ReorgState
+        state = ReorgState(
+            algorithm=self.algorithm_name,
+            partition_id=self.partition_id,
+            order=list(self._order),
+            parents={k: set(v) for k, v in self._parents.items()},
+            mapping=dict(self._mapping),
+            migrated=set(self._migrated),
+            allocated_at_traversal=set(self._allocated_at_traversal),
+            log_lsn=self.engine.log.last_lsn,
+            in_progress=in_progress,
+            relocation_floor=self.engine.store.partition(
+                self.partition_id).relocation_floor,
+            trt_entries=self.trt.entries(),
+        )
+        self.state_store.save(state)
+        self.stats.checkpoints_taken += 1
+
+    def resume_from(self, state) -> None:
+        super().resume_from(state)
+        self._resume_in_progress = state.in_progress

@@ -1,0 +1,170 @@
+"""Relocation plans: where migrated objects go.
+
+The paper deliberately leaves "where the objects of the partition should
+be migrated" to the driving operation (§2): compaction, copying garbage
+collection, clustering/partitioning, schema evolution.  A plan answers
+exactly that question for the reorganizers, which stay policy-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..storage.oid import Oid
+
+
+class RelocationPlan:
+    """Base plan: migrate within the same partition, any free space."""
+
+    #: When True, relocated objects only go to pages created after
+    #: ``prepare`` ran — compaction must not refill the fragmented pages
+    #: it is trying to empty.
+    fresh_only = False
+
+    def prepare(self, engine, partition_id: int) -> None:
+        """Called once before migration starts."""
+
+    def target_partition(self, oid: Oid) -> int:
+        """Partition the new copy of ``oid`` is allocated in."""
+        return oid.partition
+
+    def order(self, oids: List[Oid]) -> List[Oid]:
+        """Migration order (affects clustering of the new layout and, per
+        §7, the I/O / locking pattern on external parents)."""
+        return list(oids)
+
+    def finalize(self, engine, partition_id: int) -> None:
+        """Called once after every object has been migrated."""
+
+
+class CompactionPlan(RelocationPlan):
+    """Defragment: repack the partition's live objects into fresh pages,
+    then drop the emptied ones (§1, "Compaction")."""
+
+    fresh_only = True
+
+    def prepare(self, engine, partition_id: int) -> None:
+        engine.store.partition(partition_id).mark_relocation_floor()
+
+    def order(self, oids: List[Oid]) -> List[Oid]:
+        # Address order packs survivors densely in their original layout.
+        return sorted(oids)
+
+    def finalize(self, engine, partition_id: int) -> None:
+        engine.store.partition(partition_id).drop_empty_pages()
+
+
+class EvacuationPlan(RelocationPlan):
+    """Move everything to another partition — the copying-collector shape
+    (§4.6): live objects leave, the whole source region is reclaimed."""
+
+    def __init__(self, target_partition: int):
+        self._target = target_partition
+
+    def prepare(self, engine, partition_id: int) -> None:
+        if self._target == partition_id:
+            raise ValueError("evacuation target equals the source partition")
+        if not engine.store.has_partition(self._target):
+            engine.create_partition(self._target)
+
+    def target_partition(self, oid: Oid) -> int:
+        return self._target
+
+    def finalize(self, engine, partition_id: int) -> None:
+        engine.store.partition(partition_id).drop_empty_pages()
+
+
+class ParentLocalityPlan(RelocationPlan):
+    """§7 (future work): migrate in an order that minimizes repeated lock
+    acquisition on external parents.
+
+    "An object external to the partition being reorganized ... may be the
+    parent of multiple objects in the partition.  A natural question that
+    arises is in what order do we migrate objects so that the number of
+    I/O's required is minimized.  In a main memory database, the same
+    order could be relevant since it may minimize the number of times
+    locks have to be obtained on an external object."
+
+    Objects sharing an external parent (per the ERT) migrate
+    consecutively; combined with migration batching (§4.3), each batch
+    acquires the shared parent's lock once instead of once per object.
+    Wraps any base plan for placement decisions.
+    """
+
+    def __init__(self, base: Optional[RelocationPlan] = None):
+        self.base = base or RelocationPlan()
+        self._engine = None
+        self._partition_id = None
+
+    @property
+    def fresh_only(self) -> bool:  # type: ignore[override]
+        return self.base.fresh_only
+
+    def prepare(self, engine, partition_id: int) -> None:
+        self._engine = engine
+        self._partition_id = partition_id
+        self.base.prepare(engine, partition_id)
+
+    def target_partition(self, oid: Oid) -> int:
+        return self.base.target_partition(oid)
+
+    def order(self, oids: List[Oid]) -> List[Oid]:
+        if self._engine is None:
+            return self.base.order(oids)
+        ert = self._engine.ert_for(self._partition_id)
+        oid_set = set(oids)
+
+        # Greedy grouping: external parents in descending fan-in order,
+        # each emitting its not-yet-ordered children consecutively — the
+        # widest-shared parents benefit most from consecutive migration.
+        children_of: dict = {}
+        for child, parent in ert.entries():
+            if child in oid_set:
+                children_of.setdefault(parent, []).append(child)
+        out: List[Oid] = []
+        emitted = set()
+        for parent in sorted(children_of,
+                             key=lambda p: (-len(children_of[p]), p)):
+            for child in sorted(children_of[parent]):
+                if child not in emitted:
+                    out.append(child)
+                    emitted.add(child)
+        for oid in self.base.order(oids):
+            if oid not in emitted:
+                out.append(oid)
+                emitted.add(oid)
+        return out
+
+    def finalize(self, engine, partition_id: int) -> None:
+        self.base.finalize(engine, partition_id)
+
+
+class ClusteringPlan(RelocationPlan):
+    """Re-cluster: migrate in an order given by a key function so related
+    objects land on adjacent pages (§1, "Clustering and Partitioning").
+
+    ``cluster_key`` maps an OID to a sortable key; objects sharing a key
+    are migrated consecutively and therefore packed together.
+    """
+
+    fresh_only = True
+
+    def __init__(self, cluster_key: Callable[[Oid], object],
+                 target_partition: Optional[int] = None):
+        self._key = cluster_key
+        self._target = target_partition
+
+    def prepare(self, engine, partition_id: int) -> None:
+        if self._target is None:
+            engine.store.partition(partition_id).mark_relocation_floor()
+        elif not engine.store.has_partition(self._target):
+            engine.create_partition(self._target)
+
+    def target_partition(self, oid: Oid) -> int:
+        return self._target if self._target is not None else oid.partition
+
+    def order(self, oids: List[Oid]) -> List[Oid]:
+        return sorted(oids, key=lambda oid: (self._key(oid), oid))
+
+    def finalize(self, engine, partition_id: int) -> None:
+        engine.store.partition(partition_id).drop_empty_pages()

@@ -1,0 +1,90 @@
+"""Partition Quiesce Reorganization (PQR) — the paper's baseline (§5.1).
+
+PQR quiesces the partition before reorganizing it: it write-locks every
+object *outside* the partition that references an object inside it (the
+ERT's parents), then keeps locking parents surfacing in the TRT until a
+fixpoint — after which no transaction can obtain a reference into the
+partition, and the off-line migration routine can run safely.
+
+No locks are needed on the partition's own objects: any transaction would
+have to come in through an external parent (possibly a persistent root),
+and those are all locked.
+
+PQR's lock requests never time out (a deadlock cycle through PQR always
+contains a user transaction whose own 1-second timeout breaks it) — a
+timeout aborting a reorganization transaction holding hundreds of locks
+would be far worse than waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Set
+
+from ..concurrency import LockMode
+from ..errors import ReorganizationError
+from ..storage.oid import Oid
+from .ira import ReorgStats
+from .offline import migrate_partition_quiescent
+from .plan import RelocationPlan
+
+
+class PartitionQuiesceReorganizer:
+    """The PQR baseline of §5.1."""
+
+    algorithm_name = "pqr"
+
+    def __init__(self, engine, partition_id: int,
+                 plan: RelocationPlan = None, reorg_config=None):
+        self.engine = engine
+        self.partition_id = partition_id
+        self.plan = plan or RelocationPlan()
+        self.stats = ReorgStats(algorithm=self.algorithm_name,
+                                partition_id=partition_id)
+        self.quiesce_locks = 0
+
+    def run(self) -> Generator[Any, Any, ReorgStats]:
+        engine = self.engine
+        if not engine.config.strict_transactions:
+            # Quiescing by locking external parents only works when
+            # transactions hold their locks to completion: with short-
+            # duration locks a transaction could retain a copied-out
+            # reference after PQR locked (and it released) the parent.
+            # The paper presents PQR under the strict-2PL model only;
+            # use IRA (which does the §4.1 history wait) instead.
+            raise ReorganizationError(
+                "PQR requires strict 2PL; the engine runs short-duration "
+                "locks")
+        self.stats.started_ms = engine.sim.now
+        trt = engine.activate_trt(self.partition_id)
+        try:
+            # §4.5: ensure the TRT sees every relevant pointer update.
+            yield from engine.txns.wait_for_quiesce()
+            self.plan.prepare(engine, self.partition_id)
+            txn = engine.txns.begin(system=True, reorg_partition=self.partition_id)
+            yield from self._quiesce_partition(txn, trt)
+            self.stats.max_locks_held = engine.locks.lock_count(txn.tid)
+            yield from migrate_partition_quiescent(
+                engine, txn, self.partition_id, self.plan, self.stats)
+            yield from txn.commit()
+            self.plan.finalize(engine, self.partition_id)
+        finally:
+            engine.deactivate_trt(self.partition_id)
+        self.stats.trt_peak = trt.stats.peak_size
+        self.stats.finished_ms = engine.sim.now
+        return self.stats
+
+    def _quiesce_partition(self, txn, trt) -> Generator[Any, Any, None]:
+        """Quiesce_Partition of §5.1: lock all ERT parents, then all TRT
+        parents, repeating until nothing new surfaces."""
+        engine = self.engine
+        ert = engine.ert_for(self.partition_id)
+        locked: Set[Oid] = set()
+        while True:
+            unlocked = (ert.all_parents() | trt.all_parents()) - locked
+            if not unlocked:
+                break
+            for parent in sorted(unlocked):
+                yield from engine.locks.acquire(
+                    txn.tid, parent, LockMode.X, timeout_ms=float("inf"))
+                locked.add(parent)
+                self.quiesce_locks += 1

@@ -1,0 +1,95 @@
+"""Partition-selection policies.
+
+The paper treats "when to reorganize [and] which partition to reorganize"
+as an orthogonal problem decided by the driving operation (§2), citing
+[CWZ94] for partition-selection policies in garbage collection.  This
+module supplies the standard policies a driving utility would use:
+
+* ``fragmentation`` — compact the partition wasting the most page space;
+* ``garbage``       — collect the partition with the most unreachable
+  bytes (estimated by a reachability sweep from the ERT);
+* ``round-robin``   — rotate for background maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..storage.oid import Oid
+
+
+def fragmentation_score(engine, partition_id: int) -> float:
+    """Fraction of the partition's allocated page space not holding live
+    data — the compaction payoff."""
+    return engine.store.stats(partition_id).fragmentation
+
+
+def garbage_estimate(engine, partition_id: int) -> Tuple[int, int]:
+    """(unreachable object count, unreachable bytes) for a partition.
+
+    Advisory reachability sweep from the partition's ERT — the same
+    starting points the fuzzy traversal uses, but without latches or
+    simulated cost: callers use it to *choose* a partition, not to
+    collect it (the on-line collectors re-derive liveness safely).
+    """
+    store = engine.store
+    ert = engine.ert_for(partition_id)
+    live = set()
+    stack: List[Oid] = [oid for oid in ert.referenced_objects()
+                        if store.exists(oid)]
+    while stack:
+        oid = stack.pop()
+        if oid in live:
+            continue
+        live.add(oid)
+        for child in store.children_of(oid):
+            if child.partition == partition_id and child not in live \
+                    and store.exists(child):
+                stack.append(child)
+    count = 0
+    size = 0
+    for oid in store.live_oids(partition_id):
+        if oid not in live:
+            count += 1
+            size += len(store.read_raw(oid))
+    return count, size
+
+
+class PartitionSelector:
+    """Chooses which partition a maintenance utility should work on next."""
+
+    POLICIES = ("fragmentation", "garbage", "round-robin")
+
+    def __init__(self, policy: str = "fragmentation"):
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {self.POLICIES}")
+        self.policy = policy
+        self._cursor = -1
+
+    def choose(self, engine,
+               candidates: Optional[Iterable[int]] = None) -> Optional[int]:
+        """The most deserving partition, or ``None`` if all score zero."""
+        pids = sorted(candidates if candidates is not None
+                      else engine.store.partition_ids())
+        if not pids:
+            return None
+        if self.policy == "round-robin":
+            self._cursor = (self._cursor + 1) % len(pids)
+            return pids[self._cursor]
+        scores = self.rank(engine, pids)
+        best_pid, best_score = scores[0]
+        return best_pid if best_score > 0 else None
+
+    def rank(self, engine,
+             candidates: Iterable[int]) -> List[Tuple[int, float]]:
+        """All candidates with their scores, most deserving first."""
+        scores: Dict[int, float] = {}
+        for pid in candidates:
+            if self.policy == "fragmentation":
+                scores[pid] = fragmentation_score(engine, pid)
+            elif self.policy == "garbage":
+                scores[pid] = float(garbage_estimate(engine, pid)[1])
+            else:  # round-robin has no meaningful score
+                scores[pid] = 0.0
+        return sorted(scores.items(), key=lambda item: (-item[1], item[0]))

@@ -1,0 +1,23 @@
+"""Engine-level exceptions."""
+
+
+class EngineError(Exception):
+    """Base class for engine errors."""
+
+
+class TransactionStateError(EngineError):
+    """An operation was attempted on a transaction in the wrong state."""
+
+
+class ReferenceProtocolError(EngineError):
+    """A transaction used a reference it never legitimately obtained.
+
+    The system model (paper §2) allows a transaction to use a reference
+    only if it copied it out of an object it had locked (or created the
+    object itself).  The engine enforces this in debug mode because the
+    correctness proofs of Lemmas 3.2/3.3 rely on it.
+    """
+
+
+class ReorganizationError(EngineError):
+    """The reorganizer hit an unrecoverable condition."""

@@ -1,0 +1,5 @@
+"""Index structures (extendible hashing, as in Brahmā)."""
+
+from .extendible_hash import ExtendibleHashIndex
+
+__all__ = ["ExtendibleHashIndex"]

@@ -1,0 +1,14 @@
+"""Reference tables (ERT, TRT) and the log analyzer that maintains them."""
+
+from .ert import ExternalReferenceTable
+from .log_analyzer import LogAnalyzer
+from .trt import ACTION_DELETE, ACTION_INSERT, TemporaryReferenceTable, TrtEntry
+
+__all__ = [
+    "ACTION_DELETE",
+    "ACTION_INSERT",
+    "ExternalReferenceTable",
+    "LogAnalyzer",
+    "TemporaryReferenceTable",
+    "TrtEntry",
+]

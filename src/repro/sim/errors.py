@@ -1,0 +1,26 @@
+"""Exceptions raised by the discrete-event simulation kernel."""
+
+
+class SimError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class WaitTimeout(SimError):
+    """Raised inside a process when a ``Wait`` with a timeout expires.
+
+    The exception is thrown *into* the waiting generator, so engine code can
+    catch it at the exact point of the blocking call (e.g. a lock request).
+    """
+
+
+class ProcessKilled(SimError):
+    """Raised inside a process that is forcibly terminated.
+
+    Used by the crash-injection machinery to tear down every running
+    process when a simulated system failure occurs.
+    """
+
+
+class SimulationDeadlock(SimError):
+    """Raised by ``Simulator.run`` when live processes remain but no events
+    are scheduled — i.e. every process is blocked forever."""

@@ -1,0 +1,348 @@
+"""A deterministic discrete-event simulation kernel.
+
+The performance study in the paper was run with native threads on a
+uniprocessor.  CPython's GIL makes wall-clock measurements of a threaded
+port meaningless, so this package reproduces the study on a discrete-event
+simulator instead: *processes* are plain Python generators, the clock is a
+simulated float (milliseconds by convention), and all contention — lock
+waits, CPU queueing, log-disk flushes — happens in simulated time.
+
+A process is a generator that yields *commands*:
+
+``Delay(dt)``
+    Suspend for ``dt`` simulated time units.
+
+``Wait(event, timeout=None)``
+    Suspend until ``event`` fires.  ``event.succeed(value)`` resumes the
+    process with ``value``; ``event.fail(exc)`` raises ``exc`` inside it.
+    If ``timeout`` elapses first, :class:`~repro.sim.errors.WaitTimeout`
+    is raised inside the process.
+
+Engine code composes blocking operations with ``yield from``; the value a
+sub-generator ``return``s propagates to the caller as usual.
+
+Example::
+
+    sim = Simulator()
+
+    def worker():
+        yield Delay(5.0)
+        return sim.now
+
+    proc = sim.spawn(worker(), name="worker")
+    sim.run()
+    assert proc.result == 5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from .errors import ProcessKilled, SimulationDeadlock, WaitTimeout
+
+#: Type alias for the generators the kernel schedules.
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Delay:
+    """Command: suspend the yielding process for ``dt`` time units."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt!r}")
+        self.dt = dt
+
+    def __repr__(self) -> str:
+        return f"Delay({self.dt!r})"
+
+
+class Wait:
+    """Command: suspend the yielding process until ``event`` fires.
+
+    ``timeout`` is optional; when it expires before the event fires, a
+    :class:`WaitTimeout` is raised inside the process and the process is
+    removed from the event's waiter list.
+    """
+
+    __slots__ = ("event", "timeout")
+
+    def __init__(self, event: "Event", timeout: Optional[float] = None):
+        self.event = event
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"Wait({self.event!r}, timeout={self.timeout!r})"
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    Events carry either a value (``succeed``) or an exception (``fail``).
+    Waiters registered after the event has fired are resumed immediately
+    (on the next scheduler step), so there is no lost-wakeup race.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_value", "_exc", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._waiters: list[Callable[[], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise RuntimeError(f"event {self.name!r} has not fired")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event successfully, resuming all waiters."""
+        self._fire(value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        """Fire the event with an exception, raising it in all waiters."""
+        self._fire(None, exc)
+
+    def _fire(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._fired:
+            raise RuntimeError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        # Resume via the scheduler, never synchronously: the firing code
+        # (e.g. a lock release inside transaction cleanup) must finish its
+        # own critical section before any waiter observes the new state.
+        for resume in waiters:
+            self.sim.call_soon(resume)
+
+    def _add_waiter(self, resume: Callable[[], None]) -> None:
+        if self._fired:
+            # Already fired: resume on the next scheduler step so the
+            # caller's generator frame has returned first.
+            self.sim.call_soon(resume)
+        else:
+            self._waiters.append(resume)
+
+    def _remove_waiter(self, resume: Callable[[], None]) -> None:
+        try:
+            self._waiters.remove(resume)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process:
+    """A running generator managed by the simulator.
+
+    ``process.done`` is an :class:`Event` that fires when the generator
+    returns (with its return value) or raises (with the exception), so other
+    processes can join via ``yield Wait(process.done)``.
+    """
+
+    __slots__ = ("sim", "name", "gen", "done", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str):
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.done = Event(sim, name=f"done:{name}")
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises its exception if it failed."""
+        return self.done.value
+
+    def kill(self, exc: Optional[BaseException] = None) -> None:
+        """Forcibly terminate this process.
+
+        The exception (default :class:`ProcessKilled`) is thrown into the
+        generator so ``finally`` blocks run; whatever the generator does with
+        it, the process is dead afterwards.
+        """
+        if not self._alive:
+            return
+        self._step(throw=exc or ProcessKilled(f"process {self.name} killed"))
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        """Advance the generator one step and interpret what it yields."""
+        if not self._alive:
+            return
+        try:
+            if throw is not None:
+                command = self.gen.throw(throw)
+            else:
+                command = self.gen.send(send)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except ProcessKilled as exc:
+            self._finish(exc=exc, report=False)
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported via done event
+            self._finish(exc=exc)
+            return
+        self._dispatch(command)
+
+    def _finish(self, value: Any = None, exc: Optional[BaseException] = None,
+                report: bool = True) -> None:
+        self._alive = False
+        self.sim._live_processes.discard(self)
+        if exc is None:
+            self.done.succeed(value)
+        else:
+            had_waiters = bool(self.done._waiters)
+            self.done.fail(exc)
+            if report and not had_waiters:
+                self.sim._unhandled.append((self, exc))
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.sim.call_later(command.dt, self._step)
+        elif isinstance(command, Wait):
+            self._wait(command.event, command.timeout)
+        elif isinstance(command, Event):
+            self._wait(command, None)
+        else:
+            self._step(throw=TypeError(
+                f"process {self.name} yielded unsupported command "
+                f"{command!r}; yield Delay(...), Wait(...) or an Event"))
+
+    def _wait(self, event: Event, timeout: Optional[float]) -> None:
+        state = {"settled": False}
+
+        def resume() -> None:
+            if state["settled"]:
+                return
+            state["settled"] = True
+            if event.exception is not None:
+                self._step(throw=event.exception)
+            else:
+                self._step(send=event._value)
+
+        event._add_waiter(resume)
+        if timeout is not None:
+            def on_timeout() -> None:
+                if state["settled"]:
+                    return
+                state["settled"] = True
+                event._remove_waiter(resume)
+                self._step(throw=WaitTimeout(
+                    f"process {self.name} timed out waiting for {event!r}"))
+            self.sim.call_later(timeout, on_timeout)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._live_processes: set[Process] = set()
+        self._unhandled: list[tuple[Process, BaseException]] = []
+        self._proc_counter = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds by library convention)."""
+        return self._now
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event(self, name=name)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at the current time (after pending callbacks)."""
+        self.call_later(0.0, fn)
+
+    def call_later(self, dt: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``dt`` time units from now."""
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + dt, self._seq, fn))
+
+    def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a process; it starts on the next step."""
+        if not isinstance(gen, Iterator):
+            raise TypeError(f"spawn() needs a generator, got {gen!r}")
+        self._proc_counter += 1
+        proc = Process(self, gen, name or f"proc-{self._proc_counter}")
+        self._live_processes.add(proc)
+        self.call_soon(proc._step)
+        return proc
+
+    def run(self, until: Optional[float] = None,
+            raise_unhandled: bool = True) -> float:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        Returns the final simulated time.  If a process died with an
+        exception nobody joined on, it is re-raised here (the default) so
+        bugs do not pass silently.
+        """
+        while self._queue:
+            when, _, fn = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            fn()
+            if raise_unhandled and self._unhandled:
+                proc, exc = self._unhandled[0]
+                raise exc
+        if not self._queue and self._live_processes and until is None:
+            names = sorted(p.name for p in self._live_processes)
+            raise SimulationDeadlock(
+                f"no scheduled events but processes still blocked: {names}")
+        return self._now
+
+    def run_process(self, gen: ProcessGenerator, name: str = "main") -> Any:
+        """Spawn ``gen``, run the simulation to completion, return its result.
+
+        Convenience used throughout the tests and examples for flows that do
+        not need explicit concurrency.
+        """
+        proc = self.spawn(gen, name=name)
+        self.run()
+        return proc.result
+
+    def kill_all(self, exc: Optional[BaseException] = None) -> None:
+        """Kill every live process (crash injection) and drop pending events."""
+        for proc in list(self._live_processes):
+            proc.kill(exc)
+        self._queue.clear()
+        self._unhandled.clear()
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self._now:.3f} queued={len(self._queue)} "
+                f"live={len(self._live_processes)}>")

@@ -1,0 +1,35 @@
+"""Physical object storage: OIDs, slotted pages, partitions, object store."""
+
+from .errors import (
+    NoSuchObjectError,
+    NoSuchPartitionError,
+    ObjectFormatError,
+    PageFullError,
+    PartitionFullError,
+    RefSlotError,
+    StorageError,
+)
+from .objects import ObjectImage, payload_offset, ref_slot_offset
+from .oid import NULL_REF, Oid
+from .page import Page
+from .partition import Partition, PartitionStats
+from .store import ObjectStore
+
+__all__ = [
+    "NULL_REF",
+    "NoSuchObjectError",
+    "NoSuchPartitionError",
+    "ObjectFormatError",
+    "ObjectImage",
+    "ObjectStore",
+    "Oid",
+    "Page",
+    "PageFullError",
+    "Partition",
+    "PartitionFullError",
+    "PartitionStats",
+    "RefSlotError",
+    "StorageError",
+    "payload_offset",
+    "ref_slot_offset",
+]

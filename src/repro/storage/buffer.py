@@ -1,0 +1,125 @@
+"""Buffer pool for the disk-resident setting (paper §7, future work).
+
+The paper's experiments keep the database memory-resident; §7 plans "a
+detailed performance study of our algorithms in a disk-based setting".
+This buffer pool provides that setting: pages live on a (simulated) data
+disk, a fixed number of frames cache them with LRU replacement, and every
+page touch goes through ``fix`` — a miss pays a disk read (plus a
+write-back when the evicted frame is dirty).
+
+The pool only models *timing and residency*; page contents always live in
+the in-memory store (a real system's buffer frames — the simulation's
+"disk" never diverges from them because write-back is synchronous at
+eviction and checkpoints are sharp).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Generator, Optional, Set, Tuple
+
+from ..sim import Resource, Simulator
+
+#: A page is identified by ``(partition_id, page_no)``.
+PageKey = Tuple[int, int]
+
+
+class BufferStats:
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<BufferStats hits={self.hits} misses={self.misses} "
+                f"hit_ratio={self.hit_ratio:.2%}>")
+
+
+class BufferPool:
+    """An LRU page cache in front of a simulated data disk."""
+
+    def __init__(self, sim: Simulator, data_disk: Resource,
+                 capacity_pages: int, read_ms: float, write_ms: float):
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.sim = sim
+        self.data_disk = data_disk
+        self.capacity_pages = capacity_pages
+        self.read_ms = read_ms
+        self.write_ms = write_ms
+        self._frames: "OrderedDict[PageKey, bool]" = OrderedDict()  # -> dirty
+        self.stats = BufferStats()
+
+    # -- the one operation that matters --------------------------------------
+
+    def fix(self, key: PageKey,
+            dirty: bool = False) -> Generator[Any, Any, None]:
+        """Ensure ``key``'s page is resident; mark it dirty if requested.
+
+        A hit costs nothing; a miss pays one disk read, preceded by one
+        disk write if the evicted frame is dirty.
+        """
+        if key in self._frames:
+            self.stats.hits += 1
+            self._frames[key] = self._frames[key] or dirty
+            self._frames.move_to_end(key)
+            return
+        self.stats.misses += 1
+        while len(self._frames) >= self.capacity_pages:
+            yield from self._evict_lru()
+        yield from self.data_disk.use(self.read_ms)
+        # Re-check: a concurrent fix of the same page may have completed
+        # while this process waited on the disk.
+        if key in self._frames:
+            self._frames[key] = self._frames[key] or dirty
+            self._frames.move_to_end(key)
+            return
+        if len(self._frames) >= self.capacity_pages:
+            yield from self._evict_lru()
+        self._frames[key] = dirty
+
+    def _evict_lru(self) -> Generator[Any, Any, None]:
+        victim, victim_dirty = next(iter(self._frames.items()))
+        del self._frames[victim]
+        self.stats.evictions += 1
+        if victim_dirty:
+            self.stats.writebacks += 1
+            yield from self.data_disk.use(self.write_ms)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def discard(self, key: PageKey) -> None:
+        """Drop a frame without write-back (its page was freed)."""
+        self._frames.pop(key, None)
+
+    def flush_all(self) -> Generator[Any, Any, int]:
+        """Write every dirty frame back (checkpoint); returns the count."""
+        written = 0
+        for key, dirty in list(self._frames.items()):
+            if dirty:
+                yield from self.data_disk.use(self.write_ms)
+                self._frames[key] = False
+                written += 1
+        self.stats.writebacks += written
+        return written
+
+    def resident(self, key: PageKey) -> bool:
+        return key in self._frames
+
+    def is_dirty(self, key: PageKey) -> bool:
+        return self._frames.get(key, False)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        return (f"<BufferPool {len(self._frames)}/{self.capacity_pages} "
+                f"{self.stats!r}>")

@@ -1,0 +1,29 @@
+"""Storage-layer exceptions."""
+
+
+class StorageError(Exception):
+    """Base class for object-store errors."""
+
+
+class PageFullError(StorageError):
+    """Raised when an insert or in-place grow does not fit in the page."""
+
+
+class PartitionFullError(StorageError):
+    """Raised when a partition cannot grow to satisfy an allocation."""
+
+
+class NoSuchObjectError(StorageError):
+    """Raised when an OID does not name an allocated object."""
+
+
+class NoSuchPartitionError(StorageError):
+    """Raised when a partition id is unknown to the store."""
+
+
+class ObjectFormatError(StorageError):
+    """Raised when stored object bytes cannot be decoded."""
+
+
+class RefSlotError(StorageError):
+    """Raised on invalid reference-slot operations (bad index, no free slot)."""

@@ -1,0 +1,161 @@
+"""On-page object format.
+
+An object is a fixed-capacity array of reference slots plus an opaque
+payload::
+
+    +--------+-----------+----------------------+------------------+
+    | ncap u16 | plen u16 | ncap x u64 ref slots | plen payload ... |
+    +--------+-----------+----------------------+------------------+
+
+Reference slots hold packed OIDs; empty slots hold ``NULL_REF``.  The slot
+array's *capacity* is fixed at creation, so inserting or deleting a
+reference never changes the object's size — updates are always in place
+(one 8-byte write), which is what makes reference updates cheap,
+physically-loggable operations.  Growing the *payload* past its original
+size can overflow the page; that relocation pressure is precisely the
+schema-evolution motivation in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .errors import ObjectFormatError, RefSlotError
+from .oid import NULL_REF, Oid
+
+_HEADER = struct.Struct("<HH")
+_REF = struct.Struct("<Q")
+
+#: Byte offset of reference slot ``i`` within an object image.
+def ref_slot_offset(index: int) -> int:
+    return _HEADER.size + index * _REF.size
+
+
+def payload_offset(ref_capacity: int) -> int:
+    """Byte offset of the payload region within an object image."""
+    return _HEADER.size + ref_capacity * _REF.size
+
+
+class ObjectImage:
+    """A decoded object: reference slots + payload.
+
+    This is a *value* type — reading an object from the store hands you a
+    private copy; mutations only take effect when written back (by the
+    transaction layer, which also logs them).
+    """
+
+    __slots__ = ("_refs", "payload")
+
+    def __init__(self, refs: Sequence[Optional[Oid]], payload: bytes = b""):
+        self._refs: List[Optional[Oid]] = list(refs)
+        self.payload = bytes(payload)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def new(cls, ref_capacity: int, payload: bytes = b"",
+            refs: Sequence[Oid] = ()) -> "ObjectImage":
+        """Create an image with ``ref_capacity`` slots, the first ``len(refs)``
+        filled in order."""
+        if len(refs) > ref_capacity:
+            raise RefSlotError(
+                f"{len(refs)} refs do not fit in {ref_capacity} slots")
+        slots: List[Optional[Oid]] = list(refs)
+        slots.extend([None] * (ref_capacity - len(refs)))
+        return cls(slots, payload)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ObjectImage":
+        """Decode an on-page image."""
+        if len(data) < _HEADER.size:
+            raise ObjectFormatError(f"image too short: {len(data)} bytes")
+        ncap, plen = _HEADER.unpack_from(data, 0)
+        expected = payload_offset(ncap) + plen
+        if len(data) != expected:
+            raise ObjectFormatError(
+                f"image length {len(data)} != expected {expected} "
+                f"(ncap={ncap}, plen={plen})")
+        refs: List[Optional[Oid]] = []
+        offset = _HEADER.size
+        for _ in range(ncap):
+            (packed,) = _REF.unpack_from(data, offset)
+            refs.append(None if packed == NULL_REF else Oid.unpack(packed))
+            offset += _REF.size
+        return cls(refs, data[offset:])
+
+    def encode(self) -> bytes:
+        """Encode to the on-page byte format."""
+        parts = [_HEADER.pack(len(self._refs), len(self.payload))]
+        for ref in self._refs:
+            parts.append(_REF.pack(NULL_REF if ref is None else ref.pack()))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    # -- reference slots ---------------------------------------------------
+
+    @property
+    def ref_capacity(self) -> int:
+        return len(self._refs)
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return payload_offset(len(self._refs)) + len(self.payload)
+
+    def get_ref(self, index: int) -> Optional[Oid]:
+        self._check_index(index)
+        return self._refs[index]
+
+    def set_ref(self, index: int, child: Optional[Oid]) -> None:
+        self._check_index(index)
+        self._refs[index] = child
+
+    def refs(self) -> Iterator[Tuple[int, Oid]]:
+        """Yield ``(slot_index, child_oid)`` for every non-null slot."""
+        for index, ref in enumerate(self._refs):
+            if ref is not None:
+                yield index, ref
+
+    def children(self) -> List[Oid]:
+        """All non-null referenced OIDs, in slot order (may repeat)."""
+        return [ref for ref in self._refs if ref is not None]
+
+    def slots_referencing(self, child: Oid) -> List[int]:
+        """Indices of every slot holding a reference to ``child``."""
+        return [i for i, ref in enumerate(self._refs) if ref == child]
+
+    def free_slot(self) -> int:
+        """Index of the first empty reference slot.
+
+        Raises :class:`RefSlotError` when the slot array is full — the
+        object was created without enough capacity for this insert.
+        """
+        for index, ref in enumerate(self._refs):
+            if ref is None:
+                return index
+        raise RefSlotError("no free reference slot")
+
+    def references(self, child: Oid) -> bool:
+        """True if any slot holds a reference to ``child``."""
+        return child in self._refs
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._refs):
+            raise RefSlotError(
+                f"ref slot {index} out of range 0..{len(self._refs) - 1}")
+
+    # -- misc ----------------------------------------------------------------
+
+    def copy(self) -> "ObjectImage":
+        return ObjectImage(self._refs, self.payload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObjectImage):
+            return NotImplemented
+        return self._refs == other._refs and self.payload == other.payload
+
+    def __repr__(self) -> str:
+        filled = sum(1 for r in self._refs if r is not None)
+        return (f"<ObjectImage refs={filled}/{len(self._refs)} "
+                f"payload={len(self.payload)}B>")

@@ -1,0 +1,226 @@
+"""Slotted pages.
+
+Each partition is a set of slotted pages.  A page holds variable-length
+records addressed by a stable slot number (so an object's OID — which
+embeds the slot — survives in-page compaction).  Records grow from the
+front of the page, the slot directory from the back, classic style.
+
+The page also carries a ``page_lsn``: the LSN of the last log record
+applied to it.  Redo during restart recovery compares record LSNs against
+it, which makes redo idempotent (ARIES).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from .errors import NoSuchObjectError, PageFullError, StorageError
+
+#: Bytes of fixed page header we account for (slot count, free pointer,
+#: page LSN).
+PAGE_HEADER_BYTES = 16
+#: Bytes per slot-directory entry (offset + length).
+SLOT_ENTRY_BYTES = 4
+
+_FREE = -1
+
+
+class Page:
+    """A slotted page of ``size`` bytes.
+
+    Record bytes live in an actual ``bytearray`` so partial in-place writes
+    (reference-slot updates, payload pokes) operate on real storage, not on
+    Python object attributes.
+    """
+
+    __slots__ = ("size", "page_lsn", "_buf", "_free_ptr", "_slots",
+                 "_live_bytes")
+
+    def __init__(self, size: int):
+        if size <= PAGE_HEADER_BYTES + SLOT_ENTRY_BYTES:
+            raise ValueError(f"page size too small: {size}")
+        self.size = size
+        self.page_lsn = 0
+        self._buf = bytearray(size)
+        self._free_ptr = 0               # next byte offset for appends
+        self._slots: List[Tuple[int, int]] = []   # slot -> (offset, length)
+        self._live_bytes = 0
+
+    # -- space accounting ----------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def live_slot_count(self) -> int:
+        return sum(1 for off, _ in self._slots if off != _FREE)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed by live records plus fixed overheads."""
+        return (PAGE_HEADER_BYTES + self._live_bytes
+                + len(self._slots) * SLOT_ENTRY_BYTES)
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for new records (assuming one new slot entry)."""
+        return max(0, self.size - self.used_bytes - SLOT_ENTRY_BYTES)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._live_bytes == 0
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_space
+
+    # -- record operations -----------------------------------------------------
+
+    def insert(self, data: bytes) -> int:
+        """Store ``data`` in a free slot; returns the slot number."""
+        if not self.fits(len(data)):
+            raise PageFullError(
+                f"{len(data)} bytes do not fit ({self.free_space} free)")
+        slot = self._find_free_slot()
+        self._place(slot, data)
+        return slot
+
+    def insert_at(self, slot: int, data: bytes) -> None:
+        """Store ``data`` at a specific slot number (recovery redo path)."""
+        while len(self._slots) <= slot:
+            self._slots.append((_FREE, 0))
+        offset, _ = self._slots[slot]
+        if offset != _FREE:
+            raise StorageError(f"slot {slot} already occupied")
+        needed = len(data)
+        if self.size - self.used_bytes < needed:
+            raise PageFullError(
+                f"{needed} bytes do not fit at slot {slot}")
+        self._place(slot, data)
+
+    def read(self, slot: int) -> bytes:
+        offset, length = self._slot_entry(slot)
+        return bytes(self._buf[offset:offset + length])
+
+    def read_bytes(self, slot: int, start: int, length: int) -> bytes:
+        """Read ``length`` bytes at record-relative offset ``start``."""
+        offset, reclen = self._slot_entry(slot)
+        if start < 0 or start + length > reclen:
+            raise StorageError(
+                f"read [{start}:{start + length}] out of record of {reclen}B")
+        return bytes(self._buf[offset + start:offset + start + length])
+
+    def write_bytes(self, slot: int, start: int, data: bytes) -> None:
+        """Overwrite bytes within a record in place (size unchanged)."""
+        offset, reclen = self._slot_entry(slot)
+        if start < 0 or start + len(data) > reclen:
+            raise StorageError(
+                f"write [{start}:{start + len(data)}] out of record "
+                f"of {reclen}B")
+        self._buf[offset + start:offset + start + len(data)] = data
+
+    def update(self, slot: int, data: bytes) -> None:
+        """Replace a record's bytes; relocates within the page if resized."""
+        offset, reclen = self._slot_entry(slot)
+        if len(data) == reclen:
+            self._buf[offset:offset + reclen] = data
+            return
+        # Free the old record and try to place the new one; roll back to the
+        # old image if it does not fit so the page is never left corrupted.
+        old = bytes(self._buf[offset:offset + reclen])
+        self._slots[slot] = (_FREE, 0)
+        self._live_bytes -= reclen
+        available = self.size - self.used_bytes
+        if len(data) > available:
+            self._place(slot, old)
+            raise PageFullError(
+                f"resized record of {len(data)}B does not fit "
+                f"({available}B available)")
+        self._place(slot, data)
+
+    def delete(self, slot: int) -> None:
+        offset, length = self._slot_entry(slot)
+        self._buf[offset:offset + length] = b"\x00" * length
+        self._slots[slot] = (_FREE, 0)
+        self._live_bytes -= length
+
+    def slots(self) -> Iterator[int]:
+        """Yield every occupied slot number."""
+        for slot, (offset, _) in enumerate(self._slots):
+            if offset != _FREE:
+                yield slot
+
+    def has_slot(self, slot: int) -> bool:
+        return (0 <= slot < len(self._slots)
+                and self._slots[slot][0] != _FREE)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deep-copyable state for fuzzy checkpoints."""
+        return {
+            "size": self.size,
+            "page_lsn": self.page_lsn,
+            "buf": bytes(self._buf),
+            "free_ptr": self._free_ptr,
+            "slots": list(self._slots),
+            "live_bytes": self._live_bytes,
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, object]) -> "Page":
+        page = cls(state["size"])  # type: ignore[arg-type]
+        page.page_lsn = state["page_lsn"]  # type: ignore[assignment]
+        page._buf = bytearray(state["buf"])  # type: ignore[arg-type]
+        page._free_ptr = state["free_ptr"]  # type: ignore[assignment]
+        page._slots = list(state["slots"])  # type: ignore[arg-type]
+        page._live_bytes = state["live_bytes"]  # type: ignore[assignment]
+        return page
+
+    # -- internals ------------------------------------------------------------
+
+    def _find_free_slot(self) -> int:
+        for slot, (offset, _) in enumerate(self._slots):
+            if offset == _FREE:
+                return slot
+        self._slots.append((_FREE, 0))
+        return len(self._slots) - 1
+
+    def _place(self, slot: int, data: bytes) -> None:
+        if self._free_ptr + len(data) > self._data_limit():
+            self._compact()
+        offset = self._free_ptr
+        self._buf[offset:offset + len(data)] = data
+        self._free_ptr += len(data)
+        self._slots[slot] = (offset, len(data))
+        self._live_bytes += len(data)
+
+    def _data_limit(self) -> int:
+        """First byte reserved for header/directory accounting."""
+        return self.size - PAGE_HEADER_BYTES - len(self._slots) * SLOT_ENTRY_BYTES
+
+    def _compact(self) -> None:
+        """Squeeze out holes left by deleted/moved records."""
+        new_buf = bytearray(self.size)
+        write_ptr = 0
+        for slot, (offset, length) in enumerate(self._slots):
+            if offset == _FREE:
+                continue
+            new_buf[write_ptr:write_ptr + length] = \
+                self._buf[offset:offset + length]
+            self._slots[slot] = (write_ptr, length)
+            write_ptr += length
+        self._buf = new_buf
+        self._free_ptr = write_ptr
+
+    def _slot_entry(self, slot: int) -> Tuple[int, int]:
+        if not 0 <= slot < len(self._slots):
+            raise NoSuchObjectError(f"no slot {slot} in page")
+        offset, length = self._slots[slot]
+        if offset == _FREE:
+            raise NoSuchObjectError(f"slot {slot} is free")
+        return offset, length
+
+    def __repr__(self) -> str:
+        return (f"<Page {self.live_slot_count} live slots, "
+                f"{self.free_space}B free, lsn={self.page_lsn}>")

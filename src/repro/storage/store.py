@@ -1,0 +1,176 @@
+"""The object store: partitions + object-level operations.
+
+This is the physical layer the transaction system and the reorganizer sit
+on.  It knows nothing about locks, logging or transactions — it applies
+byte-level operations (which is what makes it reusable by both the normal
+execution path and recovery redo).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional
+
+from .errors import NoSuchObjectError, NoSuchPartitionError, RefSlotError
+from .objects import ObjectImage, payload_offset, ref_slot_offset
+from .oid import NULL_REF, Oid
+from .partition import Partition, PartitionStats
+
+_HEADER = struct.Struct("<HH")
+_REF = struct.Struct("<Q")
+
+
+class ObjectStore:
+    """All partitions of one database."""
+
+    def __init__(self, page_size: int = 4096):
+        self.page_size = page_size
+        self._partitions: Dict[int, Partition] = {}
+
+    # -- partition management ---------------------------------------------------
+
+    def create_partition(self, partition_id: int,
+                         page_size: Optional[int] = None,
+                         max_pages: Optional[int] = None) -> Partition:
+        if partition_id in self._partitions:
+            raise ValueError(f"partition {partition_id} already exists")
+        part = Partition(partition_id, page_size or self.page_size, max_pages)
+        self._partitions[partition_id] = part
+        return part
+
+    def ensure_partition(self, partition_id: int) -> Partition:
+        """Get-or-create a partition (recovery redo creates them lazily:
+        partition creation itself is not logged)."""
+        if partition_id not in self._partitions:
+            return self.create_partition(partition_id)
+        return self._partitions[partition_id]
+
+    def drop_partition(self, partition_id: int) -> None:
+        """Remove an (evacuated) partition entirely — copying-GC reclaim."""
+        self.partition(partition_id)  # raise if unknown
+        del self._partitions[partition_id]
+
+    def partition(self, partition_id: int) -> Partition:
+        try:
+            return self._partitions[partition_id]
+        except KeyError:
+            raise NoSuchPartitionError(
+                f"no partition {partition_id}") from None
+
+    def has_partition(self, partition_id: int) -> bool:
+        return partition_id in self._partitions
+
+    def partition_ids(self) -> List[int]:
+        return sorted(self._partitions)
+
+    # -- whole-object operations --------------------------------------------------
+
+    def allocate_object(self, partition_id: int, image: ObjectImage,
+                        fresh_only: bool = False) -> Oid:
+        return self.partition(partition_id).allocate(
+            image.encode(), fresh_only=fresh_only)
+
+    def allocate_object_at(self, oid: Oid, image: ObjectImage) -> None:
+        self.partition(oid.partition).allocate_at(oid, image.encode())
+
+    def read_object(self, oid: Oid) -> ObjectImage:
+        return ObjectImage.decode(self.partition(oid.partition).read(oid))
+
+    def read_raw(self, oid: Oid) -> bytes:
+        return self.partition(oid.partition).read(oid)
+
+    def replace_object(self, oid: Oid, image: ObjectImage) -> None:
+        """In-place full rewrite (may raise ``PageFullError`` on grow)."""
+        self.partition(oid.partition).update(oid, image.encode())
+
+    def free_object(self, oid: Oid) -> None:
+        self.partition(oid.partition).free(oid)
+
+    def exists(self, oid: Oid) -> bool:
+        if oid.partition not in self._partitions:
+            return False
+        return self._partitions[oid.partition].exists(oid)
+
+    def live_oids(self, partition_id: int) -> Iterator[Oid]:
+        return self.partition(partition_id).live_oids()
+
+    def all_live_oids(self) -> Iterator[Oid]:
+        for partition_id in self.partition_ids():
+            yield from self._partitions[partition_id].live_oids()
+
+    # -- sub-record operations (the physical ops WAL records describe) -------------
+
+    def _header(self, oid: Oid) -> tuple[int, int]:
+        part = self.partition(oid.partition)
+        return _HEADER.unpack(part.read_bytes(oid, 0, _HEADER.size))
+
+    def ref_capacity(self, oid: Oid) -> int:
+        ncap, _ = self._header(oid)
+        return ncap
+
+    def get_ref(self, oid: Oid, index: int) -> Optional[Oid]:
+        ncap, _ = self._header(oid)
+        if not 0 <= index < ncap:
+            raise RefSlotError(f"ref slot {index} out of range for {oid}")
+        part = self.partition(oid.partition)
+        (packed,) = _REF.unpack(
+            part.read_bytes(oid, ref_slot_offset(index), _REF.size))
+        return None if packed == NULL_REF else Oid.unpack(packed)
+
+    def set_ref(self, oid: Oid, index: int, child: Optional[Oid]) -> None:
+        """Overwrite one reference slot in place — an 8-byte physical write."""
+        ncap, _ = self._header(oid)
+        if not 0 <= index < ncap:
+            raise RefSlotError(f"ref slot {index} out of range for {oid}")
+        packed = NULL_REF if child is None else child.pack()
+        self.partition(oid.partition).write_bytes(
+            oid, ref_slot_offset(index), _REF.pack(packed))
+
+    def get_payload(self, oid: Oid) -> bytes:
+        ncap, plen = self._header(oid)
+        part = self.partition(oid.partition)
+        return part.read_bytes(oid, payload_offset(ncap), plen)
+
+    def set_payload_bytes(self, oid: Oid, start: int, data: bytes) -> None:
+        """Overwrite payload bytes in place (no size change)."""
+        ncap, plen = self._header(oid)
+        if start < 0 or start + len(data) > plen:
+            raise NoSuchObjectError(
+                f"payload write [{start}:{start + len(data)}] out of "
+                f"{plen}B payload of {oid}")
+        self.partition(oid.partition).write_bytes(
+            oid, payload_offset(ncap) + start, data)
+
+    def children_of(self, oid: Oid) -> List[Oid]:
+        """Non-null references out of an object (decoding only the slots)."""
+        return self.read_object(oid).children()
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def set_page_lsn(self, oid: Oid, lsn: int) -> None:
+        self.partition(oid.partition).set_page_lsn(oid.page, lsn)
+
+    def page_lsn(self, oid: Oid) -> int:
+        if oid.partition not in self._partitions:
+            return 0
+        return self._partitions[oid.partition].page_lsn(oid.page)
+
+    def stats(self, partition_id: int) -> PartitionStats:
+        return self.partition(partition_id).stats()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "page_size": self.page_size,
+            "partitions": {pid: part.snapshot()
+                           for pid, part in self._partitions.items()},
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, object]) -> "ObjectStore":
+        store = cls(page_size=state["page_size"])  # type: ignore[arg-type]
+        for pid, part_state in state["partitions"].items():  # type: ignore
+            store._partitions[pid] = Partition.restore(part_state)
+        return store
+
+    def __repr__(self) -> str:
+        return f"<ObjectStore partitions={self.partition_ids()}>"

@@ -1,0 +1,6 @@
+"""Transactions: strict-2PL (and short-lock) execution over the store."""
+
+from .manager import TransactionManager
+from .transaction import Transaction, TxnStatus
+
+__all__ = ["Transaction", "TransactionManager", "TxnStatus"]

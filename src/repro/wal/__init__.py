@@ -1,0 +1,43 @@
+"""Write-ahead logging, checkpoints and ARIES-style restart recovery."""
+
+from .apply import apply_record, invert_record
+from .checkpoint import SnapshotStore
+from .log import LogManager
+from .records import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    ClrRecord,
+    CommitRecord,
+    EndRecord,
+    FLAG_SYSTEM_TXN,
+    LogRecord,
+    ObjCreateRecord,
+    ObjDeleteRecord,
+    PayloadUpdateRecord,
+    RefUpdateRecord,
+    decode_record,
+)
+from .recovery import RecoveryManager, RecoveryStats
+
+__all__ = [
+    "AbortRecord",
+    "BeginRecord",
+    "CheckpointRecord",
+    "ClrRecord",
+    "CommitRecord",
+    "EndRecord",
+    "FLAG_SYSTEM_TXN",
+    "LogManager",
+    "LogRecord",
+    "ObjCreateRecord",
+    "ObjDeleteRecord",
+    "PayloadUpdateRecord",
+    "RecoveryManager",
+    "RecoveryStats",
+    "RefUpdateRecord",
+    "SnapshotStore",
+    "apply_record",
+    "decode_record",
+    "invert_record",
+]

@@ -1,0 +1,87 @@
+"""Applying and inverting physical log records.
+
+Shared by the normal execution path (transaction rollback) and restart
+recovery (redo + undo), so both necessarily agree on semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..storage import ObjectImage, ObjectStore
+from ..storage.oid import Oid
+from .records import (
+    ClrRecord,
+    LogRecord,
+    ObjCreateRecord,
+    ObjDeleteRecord,
+    PayloadUpdateRecord,
+    RefUpdateRecord,
+)
+
+
+def apply_record(store: ObjectStore, record: LogRecord,
+                 lsn: Optional[int] = None) -> None:
+    """Apply a physical record's *redo* action to the store.
+
+    If ``lsn`` is given, redo is idempotent: the record is skipped when the
+    target page's LSN already covers it, and the page LSN is advanced
+    afterwards (ARIES redo test).
+    """
+    if isinstance(record, ClrRecord):
+        apply_record(store, record.decode_action(), lsn)
+        return
+
+    target = _target_oid(record)
+    if lsn is not None and store.page_lsn(target) >= lsn:
+        return
+
+    if isinstance(record, ObjCreateRecord):
+        store.ensure_partition(record.oid.partition)
+        store.allocate_object_at(record.oid, ObjectImage.decode(record.image))
+    elif isinstance(record, ObjDeleteRecord):
+        if store.exists(record.oid):
+            store.free_object(record.oid)
+    elif isinstance(record, PayloadUpdateRecord):
+        store.set_payload_bytes(record.oid, record.offset, record.after)
+    elif isinstance(record, RefUpdateRecord):
+        store.set_ref(record.parent, record.slot, record.new_child)
+    else:
+        raise TypeError(f"not a physical record: {record!r}")
+
+    if lsn is not None:
+        store.set_page_lsn(target, lsn)
+
+
+def invert_record(record: LogRecord) -> LogRecord:
+    """The physical record describing the *undo* of ``record``.
+
+    The result is what gets embedded in a CLR: applying it with
+    :func:`apply_record` rolls the original change back.
+    """
+    if isinstance(record, ObjCreateRecord):
+        return ObjDeleteRecord(record.tid, 0, oid=record.oid,
+                               before_image=record.image)
+    if isinstance(record, ObjDeleteRecord):
+        return ObjCreateRecord(record.tid, 0, oid=record.oid,
+                               image=record.before_image)
+    if isinstance(record, PayloadUpdateRecord):
+        return PayloadUpdateRecord(record.tid, 0, oid=record.oid,
+                                   offset=record.offset,
+                                   before=record.after, after=record.before)
+    if isinstance(record, RefUpdateRecord):
+        return RefUpdateRecord(record.tid, 0, parent=record.parent,
+                               slot=record.slot,
+                               old_child=record.new_child,
+                               new_child=record.old_child)
+    raise TypeError(f"record is not undoable: {record!r}")
+
+
+def _target_oid(record: LogRecord) -> Oid:
+    """The OID whose page a physical record touches."""
+    if isinstance(record, (ObjCreateRecord, ObjDeleteRecord,
+                           PayloadUpdateRecord)):
+        return record.oid
+    if isinstance(record, RefUpdateRecord):
+        return record.parent
+    raise TypeError(f"not a physical record: {record!r}")

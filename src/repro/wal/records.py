@@ -1,0 +1,310 @@
+"""Log record types and their binary serialization.
+
+Transactions follow WAL (paper §2): the undo information is logged before
+an update is applied, and the redo information before the lock on the
+object is released.  Records are encoded to real bytes — recovery decodes
+the durable byte stream, so nothing can leak through in-memory object
+sharing.
+
+Reference inserts and deletes are both expressed as ``RefUpdateRecord``
+(old child ``None`` → insert, new child ``None`` → delete), which is also
+the record the log analyzer mines to maintain the ERT and TRT (§3.3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..storage.oid import NULL_REF, Oid
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+KIND_BEGIN = 1
+KIND_COMMIT = 2
+KIND_ABORT = 3
+KIND_END = 4
+KIND_OBJ_CREATE = 5
+KIND_OBJ_DELETE = 6
+KIND_PAYLOAD_UPDATE = 7
+KIND_REF_UPDATE = 8
+KIND_CLR = 9
+KIND_CHECKPOINT = 10
+
+#: BEGIN flag: the transaction is a system transaction (reorganizer /
+#: utility).  The log analyzer maintains the ERT for system transactions
+#: like any other; a reorganizer's own transactions additionally carry
+#: the partition they reorganize (``reorg_partition``) so that *that*
+#: partition's TRT skips them — the reorganizer knows about its own
+#: updates (§4.2 discussion) — while every other TRT still sees them
+#: (two concurrent reorganizations of mutually-referencing partitions
+#: must observe each other's reference patches).
+FLAG_SYSTEM_TXN = 0x01
+
+#: ``reorg_partition`` value meaning "not a reorganizer's transaction".
+NO_REORG_PARTITION = 0xFFFF
+
+
+def _pack_oid(oid: Optional[Oid]) -> bytes:
+    return _U64.pack(NULL_REF if oid is None else oid.pack())
+
+
+def _unpack_oid(data: bytes, offset: int) -> Tuple[Optional[Oid], int]:
+    (packed,) = _U64.unpack_from(data, offset)
+    oid = None if packed == NULL_REF else Oid.unpack(packed)
+    return oid, offset + _U64.size
+
+
+def _pack_bytes(payload: bytes) -> bytes:
+    return _U32.pack(len(payload)) + payload
+
+
+def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    return data[offset:offset + length], offset + length
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class; ``lsn`` is stamped by the log manager at append time."""
+
+    tid: int
+    prev_lsn: int
+    lsn: int = field(default=0, compare=False)
+
+    kind: int = 0  # overridden per subclass
+
+    def encode(self) -> bytes:
+        return _U8.pack(self.kind) + _U64.pack(self.tid) + \
+            _U64.pack(self.prev_lsn) + self._encode_body()
+
+    def _encode_body(self) -> bytes:
+        return b""
+
+    def with_lsn(self, lsn: int) -> "LogRecord":
+        object.__setattr__(self, "lsn", lsn)
+        return self
+
+
+@dataclass(frozen=True)
+class BeginRecord(LogRecord):
+    flags: int = 0
+    reorg_partition: int = NO_REORG_PARTITION
+    kind: int = KIND_BEGIN
+
+    @property
+    def is_system(self) -> bool:
+        return bool(self.flags & FLAG_SYSTEM_TXN)
+
+    @property
+    def owner_partition(self) -> Optional[int]:
+        """Partition this reorganizer transaction works on, if any."""
+        if self.reorg_partition == NO_REORG_PARTITION:
+            return None
+        return self.reorg_partition
+
+    def _encode_body(self) -> bytes:
+        return _U8.pack(self.flags) + _U16.pack(self.reorg_partition)
+
+
+@dataclass(frozen=True)
+class CommitRecord(LogRecord):
+    kind: int = KIND_COMMIT
+
+
+@dataclass(frozen=True)
+class AbortRecord(LogRecord):
+    kind: int = KIND_ABORT
+
+
+@dataclass(frozen=True)
+class EndRecord(LogRecord):
+    kind: int = KIND_END
+
+
+@dataclass(frozen=True)
+class ObjCreateRecord(LogRecord):
+    """A new object materialized at ``oid`` with the given full image."""
+
+    oid: Oid = None  # type: ignore[assignment]
+    image: bytes = b""
+    kind: int = KIND_OBJ_CREATE
+
+    def _encode_body(self) -> bytes:
+        return _pack_oid(self.oid) + _pack_bytes(self.image)
+
+
+@dataclass(frozen=True)
+class ObjDeleteRecord(LogRecord):
+    """An object freed; ``before_image`` allows undo to recreate it."""
+
+    oid: Oid = None  # type: ignore[assignment]
+    before_image: bytes = b""
+    kind: int = KIND_OBJ_DELETE
+
+    def _encode_body(self) -> bytes:
+        return _pack_oid(self.oid) + _pack_bytes(self.before_image)
+
+
+@dataclass(frozen=True)
+class PayloadUpdateRecord(LogRecord):
+    """In-place payload bytes overwrite: before/after images at an offset."""
+
+    oid: Oid = None  # type: ignore[assignment]
+    offset: int = 0
+    before: bytes = b""
+    after: bytes = b""
+    kind: int = KIND_PAYLOAD_UPDATE
+
+    def _encode_body(self) -> bytes:
+        return (_pack_oid(self.oid) + _U32.pack(self.offset)
+                + _pack_bytes(self.before) + _pack_bytes(self.after))
+
+
+@dataclass(frozen=True)
+class RefUpdateRecord(LogRecord):
+    """Reference slot ``slot`` of ``parent`` changed old_child → new_child.
+
+    ``old_child is None``  → a pointer *insert*;
+    ``new_child is None``  → a pointer *delete*;
+    both non-None          → an atomic re-point (delete + insert).
+    """
+
+    parent: Oid = None  # type: ignore[assignment]
+    slot: int = 0
+    old_child: Optional[Oid] = None
+    new_child: Optional[Oid] = None
+    kind: int = KIND_REF_UPDATE
+
+    def _encode_body(self) -> bytes:
+        return (_pack_oid(self.parent) + _U16.pack(self.slot)
+                + _pack_oid(self.old_child) + _pack_oid(self.new_child))
+
+
+@dataclass(frozen=True)
+class ClrRecord(LogRecord):
+    """Compensation record: the redo-only action performed by an undo step.
+
+    ``undone_lsn`` is the LSN of the record this CLR compensates;
+    ``undo_next_lsn`` points at the next record of the transaction still to
+    be undone, so a crash during rollback never undoes twice.  ``action``
+    is the encoded physical record (OBJ_CREATE/OBJ_DELETE/PAYLOAD_UPDATE/
+    REF_UPDATE) describing what the undo did.
+    """
+
+    undo_next_lsn: int = 0
+    undone_lsn: int = 0
+    action: bytes = b""
+    kind: int = KIND_CLR
+
+    def _encode_body(self) -> bytes:
+        return (_U64.pack(self.undo_next_lsn) + _U64.pack(self.undone_lsn)
+                + _pack_bytes(self.action))
+
+    def decode_action(self) -> LogRecord:
+        return decode_record(self.action)
+
+
+@dataclass(frozen=True)
+class CheckpointRecord(LogRecord):
+    """Sharp checkpoint marker.
+
+    ``snapshot_id`` names an entry in the snapshot store holding the full
+    database image at this LSN; ``active_txns`` maps each in-flight
+    transaction to its last LSN so analysis can seed the transaction table.
+    """
+
+    snapshot_id: int = 0
+    active_txns: Tuple[Tuple[int, int], ...] = ()
+    kind: int = KIND_CHECKPOINT
+
+    def _encode_body(self) -> bytes:
+        parts = [_U64.pack(self.snapshot_id), _U32.pack(len(self.active_txns))]
+        for txn_tid, last_lsn in self.active_txns:
+            parts.append(_U64.pack(txn_tid))
+            parts.append(_U64.pack(last_lsn))
+        return b"".join(parts)
+
+    def active_txn_table(self) -> Dict[int, int]:
+        return dict(self.active_txns)
+
+
+def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
+    """Decode one encoded record (inverse of ``LogRecord.encode``)."""
+    (kind,) = _U8.unpack_from(data, 0)
+    (tid,) = _U64.unpack_from(data, 1)
+    (prev_lsn,) = _U64.unpack_from(data, 9)
+    offset = 17
+    record: LogRecord
+    if kind == KIND_BEGIN:
+        (flags,) = _U8.unpack_from(data, offset)
+        (reorg_partition,) = _U16.unpack_from(data, offset + 1)
+        record = BeginRecord(tid, prev_lsn, flags=flags,
+                             reorg_partition=reorg_partition)
+    elif kind == KIND_COMMIT:
+        record = CommitRecord(tid, prev_lsn)
+    elif kind == KIND_ABORT:
+        record = AbortRecord(tid, prev_lsn)
+    elif kind == KIND_END:
+        record = EndRecord(tid, prev_lsn)
+    elif kind == KIND_OBJ_CREATE:
+        oid, offset = _unpack_oid(data, offset)
+        image, offset = _unpack_bytes(data, offset)
+        record = ObjCreateRecord(tid, prev_lsn, oid=oid, image=image)
+    elif kind == KIND_OBJ_DELETE:
+        oid, offset = _unpack_oid(data, offset)
+        image, offset = _unpack_bytes(data, offset)
+        record = ObjDeleteRecord(tid, prev_lsn, oid=oid, before_image=image)
+    elif kind == KIND_PAYLOAD_UPDATE:
+        oid, offset = _unpack_oid(data, offset)
+        (byte_offset,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        before, offset = _unpack_bytes(data, offset)
+        after, offset = _unpack_bytes(data, offset)
+        record = PayloadUpdateRecord(tid, prev_lsn, oid=oid,
+                                     offset=byte_offset,
+                                     before=before, after=after)
+    elif kind == KIND_REF_UPDATE:
+        parent, offset = _unpack_oid(data, offset)
+        (slot,) = _U16.unpack_from(data, offset)
+        offset += _U16.size
+        old_child, offset = _unpack_oid(data, offset)
+        new_child, offset = _unpack_oid(data, offset)
+        record = RefUpdateRecord(tid, prev_lsn, parent=parent, slot=slot,
+                                 old_child=old_child, new_child=new_child)
+    elif kind == KIND_CLR:
+        (undo_next,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (undone,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        action, offset = _unpack_bytes(data, offset)
+        record = ClrRecord(tid, prev_lsn, undo_next_lsn=undo_next,
+                           undone_lsn=undone, action=action)
+    elif kind == KIND_CHECKPOINT:
+        (snapshot_id,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        actives = []
+        for _ in range(count):
+            (txn_tid,) = _U64.unpack_from(data, offset)
+            offset += _U64.size
+            (last_lsn,) = _U64.unpack_from(data, offset)
+            offset += _U64.size
+            actives.append((txn_tid, last_lsn))
+        record = CheckpointRecord(tid, prev_lsn, snapshot_id=snapshot_id,
+                                  active_txns=tuple(actives))
+    else:
+        raise ValueError(f"unknown log record kind {kind}")
+    return record.with_lsn(lsn)
+
+
+#: Record kinds that describe physical page changes (redo/undo-able).
+PHYSICAL_KINDS = frozenset({
+    KIND_OBJ_CREATE, KIND_OBJ_DELETE, KIND_PAYLOAD_UPDATE, KIND_REF_UPDATE,
+})

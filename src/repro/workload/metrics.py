@@ -1,0 +1,114 @@
+"""Experiment metrics: throughput, response times and their dispersion.
+
+The paper evaluates throughput (tps) and average response time, and —
+Table 2 — the maximum and standard deviation of response times, which is
+where PQR's "several orders of magnitude" worse predictability shows.
+Response time is measured from first submission to final commit,
+*including* retries after timeout-induced aborts (that is how a blocked
+transaction under PQR accrues a ~100 s response time despite the
+1-second lock timeout).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TransactionRecord:
+    """One logical transaction as seen by a submitting thread."""
+
+    thread_id: int
+    started_ms: float
+    finished_ms: float
+    retries: int
+
+    @property
+    def response_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+
+@dataclass
+class ExperimentMetrics:
+    """Aggregated results of one experiment run."""
+
+    algorithm: str
+    mpl: int
+    #: Measurement window (ms of simulated time).
+    window_ms: float = 0.0
+    records: List[TransactionRecord] = field(default_factory=list)
+    aborts: int = 0
+    reorg_duration_ms: Optional[float] = None
+    reorg_stats: Optional[object] = None
+    cpu_utilization: float = 0.0
+    lock_waits: int = 0
+    lock_timeouts: int = 0
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Transactions per second of simulated time over the window."""
+        if self.window_ms <= 0:
+            return 0.0
+        in_window = sum(1 for r in self.records
+                        if r.finished_ms <= self.window_ms)
+        return in_window / (self.window_ms / 1000.0)
+
+    def response_times(self) -> List[float]:
+        return [r.response_ms for r in self.records]
+
+    @property
+    def avg_response_ms(self) -> float:
+        times = self.response_times()
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def max_response_ms(self) -> float:
+        times = self.response_times()
+        return max(times) if times else 0.0
+
+    @property
+    def std_response_ms(self) -> float:
+        times = self.response_times()
+        if len(times) < 2:
+            return 0.0
+        mean = sum(times) / len(times)
+        return math.sqrt(sum((t - mean) ** 2 for t in times)
+                         / (len(times) - 1))
+
+    def percentile_response_ms(self, pct: float) -> float:
+        times = sorted(self.response_times())
+        if not times:
+            return 0.0
+        rank = min(len(times) - 1, max(0, int(round(
+            pct / 100.0 * (len(times) - 1)))))
+        return times[rank]
+
+    def top_responses(self, n: int = 10) -> List[float]:
+        return sorted(self.response_times(), reverse=True)[:n]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "algorithm": self.algorithm,
+            "mpl": self.mpl,
+            "throughput_tps": round(self.throughput_tps, 2),
+            "completed": self.completed,
+            "aborts": self.aborts,
+            "avg_response_ms": round(self.avg_response_ms, 1),
+            "max_response_ms": round(self.max_response_ms, 1),
+            "std_response_ms": round(self.std_response_ms, 1),
+            "window_ms": round(self.window_ms, 1),
+            "cpu_utilization": round(self.cpu_utilization, 3),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Metrics {self.algorithm} mpl={self.mpl} "
+                f"tps={self.throughput_tps:.1f} "
+                f"art={self.avg_response_ms:.0f}ms>")

@@ -1,0 +1,85 @@
+"""The paper's transaction workload: random walks (§5.2).
+
+A transaction starts at a randomly chosen persistent root of its thread's
+home partition, then performs a random walk of OPSPERTRANS object
+accesses, choosing the next object uniformly among the references out of
+the current one.  Each access is an update access with probability
+UPDATEPROB (exclusive lock); an update either pokes the object's payload
+or — with probability ``ref_update_prob`` — re-points the object's glue
+edge at a node visited earlier in the walk, which is the pointer
+insert/delete traffic the TRT machinery exists for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator
+
+from ..concurrency import LockTimeoutError
+from ..config import WorkloadConfig
+from .graphgen import GraphLayout, glue_slot
+
+
+class WalkOutcome:
+    """What one attempt at a random-walk transaction did."""
+
+    __slots__ = ("committed", "ops", "updates", "ref_updates")
+
+    def __init__(self, committed: bool, ops: int, updates: int,
+                 ref_updates: int):
+        self.committed = committed
+        self.ops = ops
+        self.updates = updates
+        self.ref_updates = ref_updates
+
+
+def random_walk_transaction(engine, layout: GraphLayout,
+                            config: WorkloadConfig, rng: random.Random,
+                            home_partition: int
+                            ) -> Generator[Any, Any, WalkOutcome]:
+    """Run one random-walk transaction; aborts and re-raises on a lock
+    timeout (deadlock) so the submitting thread can retry."""
+    txn = engine.txns.begin()
+    ops = updates = ref_updates = 0
+    try:
+        # Enter through a persistent root (a root stub in partition 0).
+        stub_oids = layout.root_stubs[home_partition]
+        stub = stub_oids[rng.randrange(len(stub_oids))]
+        stub_image = yield from txn.read(stub)
+        current = stub_image.children()[0]
+        visited = []
+
+        for _ in range(config.ops_per_trans):
+            is_update = rng.random() < config.update_prob
+            image = yield from txn.read(current, for_update=is_update)
+            ops += 1
+            if is_update:
+                updates += 1
+                rewire = (rng.random() < config.ref_update_prob
+                          and len(visited) >= 1)
+                if rewire:
+                    # Re-point the glue edge at an earlier-visited node
+                    # (its reference is in the transaction's local memory).
+                    candidates = [oid for oid in visited if oid != current]
+                    if candidates:
+                        target = candidates[rng.randrange(len(candidates))]
+                        yield from txn.update_ref(
+                            current, glue_slot(config), target)
+                        ref_updates += 1
+                        image = engine.store.read_object(current)
+                else:
+                    offset = rng.randrange(
+                        max(1, config.payload_bytes - 4))
+                    poke = bytes(rng.getrandbits(8) for _ in range(4))
+                    yield from txn.write_payload(current, offset, poke)
+            visited.append(current)
+            children = image.children()
+            if not children:
+                break
+            current = children[rng.randrange(len(children))]
+
+        yield from txn.commit()
+        return WalkOutcome(True, ops, updates, ref_updates)
+    except LockTimeoutError:
+        yield from txn.abort()
+        raise

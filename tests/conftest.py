@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, StorageEngine, SystemConfig, WorkloadConfig
+from repro.sim import Simulator
+from repro.storage import ObjectImage
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def engine():
+    """A fresh engine with two empty partitions."""
+    eng = StorageEngine(SystemConfig())
+    eng.create_partition(1)
+    eng.create_partition(2)
+    return eng
+
+
+@pytest.fixture
+def tiny_workload():
+    """The smallest paper-shaped workload: 2 partitions of 2 clusters."""
+    return WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                          mpl=4, seed=7)
+
+
+@pytest.fixture
+def small_db(tiny_workload):
+    """A loaded database plus its layout."""
+    return Database.with_workload(tiny_workload)
+
+
+def run(engine, gen, name="test"):
+    """Drive a generator to completion on the engine's simulator."""
+    return engine.sim.run_process(gen, name=name)
+
+
+def make_object(ref_capacity=4, payload=b"payload", refs=()):
+    return ObjectImage.new(ref_capacity, payload=payload, refs=refs)
+
+
+def committed(engine, body):
+    """Run ``body(txn)`` inside a committed transaction on ``engine``."""
+    def _wrapper():
+        txn = engine.txns.begin()
+        result = yield from body(txn)
+        yield from txn.commit()
+        return result
+    return run(engine, _wrapper(), name="committed")
+
+
+def committed_system(engine, body, reorg_partition=None):
+    """Like :func:`committed` but as a system transaction (optionally a
+    reorganizer's own, owning ``reorg_partition``)."""
+    def _wrapper():
+        txn = engine.txns.begin(system=True,
+                                reorg_partition=reorg_partition)
+        result = yield from body(txn)
+        yield from txn.commit()
+        return result
+    return run(engine, _wrapper(), name="committed-system")

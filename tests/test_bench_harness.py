@@ -1,0 +1,77 @@
+"""Tests for the benchmark harness itself."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    SCALES,
+    base_workload,
+    bench_scale,
+    format_series,
+    format_table2,
+    run_point,
+    run_three_way,
+)
+
+
+def test_scales_are_wellformed():
+    for name, scale in SCALES.items():
+        assert scale.name == name
+        assert scale.objects_per_partition % 85 == 0
+        assert len(scale.mpl_points) >= 2
+        assert all(size % 85 == 0 for size in scale.partition_size_points)
+
+
+def test_bench_scale_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    assert bench_scale().name == "quick"
+    monkeypatch.delenv("REPRO_BENCH_SCALE")
+    assert bench_scale().name == "standard"
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "nonsense")
+    with pytest.raises(ValueError):
+        bench_scale()
+
+
+def test_base_workload_uses_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    workload = base_workload(mpl=7)
+    assert workload.num_partitions == SCALES["quick"].num_partitions
+    assert workload.mpl == 7
+
+
+def test_run_point_nr_and_reorg(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    workload = base_workload(mpl=2, objects_per_partition=85)
+    nr = run_point("nr", workload, horizon_ms=1000.0)
+    assert nr.algorithm == "nr"
+    assert nr.metrics.window_ms == pytest.approx(1000.0)
+    ira = run_point("ira", workload)
+    assert ira.metrics.reorg_stats.objects_migrated == 85
+
+
+def test_run_three_way_produces_all_algorithms(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    workload = base_workload(mpl=2, objects_per_partition=85)
+    points = run_three_way(workload)
+    assert set(points) == {"nr", "ira", "pqr"}
+    for point in points.values():
+        assert point.metrics.completed >= 0
+
+
+def test_format_series_layout():
+    text = format_series("Title", "x", [1, 2],
+                         {"A": [1.0, 2.0], "B": [3.0, 4.0]})
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "A" in lines[2] and "B" in lines[2]
+    assert len(lines) == 5
+
+
+def test_format_table2_includes_paper_reference(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    workload = base_workload(mpl=2, objects_per_partition=85)
+    points = run_three_way(workload)
+    text = format_table2(points)
+    assert "NR" in text and "IRA" in text and "PQR" in text
+    assert "paper" in text

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_runs_and_reports(capsys):
+    code = main(["demo", "--partitions", "2", "--objects", "170",
+                 "--mpl", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "objects migrated     170" in out
+    assert "integrity: OK" in out
+
+
+def test_demo_algorithm_choices(capsys):
+    code = main(["demo", "--algorithm", "pqr", "--partitions", "2",
+                 "--objects", "85", "--mpl", "2"])
+    assert code == 0
+    assert "integrity: OK" in capsys.readouterr().out
+
+
+def test_inspect_prints_layout(capsys):
+    code = main(["inspect", "--partitions", "2", "--objects", "170",
+                 "--mpl", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "partition" in out
+    assert "integrity: OK" in out
+
+
+def test_bench_table2_quick(capsys):
+    code = main(["bench", "table2", "--scale", "quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "PQR" in out
+
+
+def test_invalid_algorithm_rejected():
+    with pytest.raises(SystemExit):
+        main(["demo", "--algorithm", "nope"])

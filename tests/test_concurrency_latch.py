@@ -1,0 +1,79 @@
+"""Unit tests for latches."""
+
+import pytest
+
+from repro.concurrency import LatchManager
+from repro.sim import Delay, Simulator
+from repro.storage import Oid
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    return sim, LatchManager(sim)
+
+
+def test_latch_unlatch(setup):
+    sim, latches = setup
+    key = Oid(1, 0, 0)
+
+    def proc():
+        yield from latches.latch(key)
+        assert latches.is_latched(key)
+        latches.unlatch(key)
+        assert not latches.is_latched(key)
+
+    sim.run_process(proc())
+    assert latches.acquisitions == 1
+
+
+def test_latch_mutual_exclusion(setup):
+    sim, latches = setup
+    key = Oid(1, 0, 0)
+    trace = []
+
+    def proc(tag):
+        yield from latches.latch(key)
+        trace.append((tag, sim.now))
+        yield Delay(4)
+        latches.unlatch(key)
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    assert trace == [("a", 0.0), ("b", 4.0)]
+
+
+def test_different_keys_independent(setup):
+    sim, latches = setup
+    trace = []
+
+    def proc(tag, key):
+        yield from latches.latch(key)
+        trace.append((tag, sim.now))
+        yield Delay(4)
+        latches.unlatch(key)
+
+    sim.spawn(proc("a", Oid(1, 0, 0)))
+    sim.spawn(proc("b", Oid(1, 0, 1)))
+    sim.run()
+    assert trace == [("a", 0.0), ("b", 0.0)]
+
+
+def test_unlatch_without_latch_raises(setup):
+    _, latches = setup
+    with pytest.raises(KeyError):
+        latches.unlatch(Oid(1, 0, 0))
+
+
+def test_idle_latches_are_discarded(setup):
+    sim, latches = setup
+
+    def proc():
+        for slot in range(50):
+            key = Oid(1, 0, slot)
+            yield from latches.latch(key)
+            latches.unlatch(key)
+
+    sim.run_process(proc())
+    assert len(latches._latches) == 0

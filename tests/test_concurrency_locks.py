@@ -1,0 +1,277 @@
+"""Unit tests for the lock manager."""
+
+import pytest
+
+from repro.concurrency import LockManager, LockMode, LockTimeoutError
+from repro.sim import Delay, Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    locks = LockManager(sim, timeout_ms=1000.0)
+    return sim, locks
+
+
+def grab(sim, locks, tid, key, mode, log, hold=0.0, release_all=True,
+         timeout_ms=None):
+    def proc():
+        try:
+            yield from locks.acquire(tid, key, mode, timeout_ms=timeout_ms)
+        except LockTimeoutError:
+            log.append((tid, "timeout", sim.now))
+            return
+        log.append((tid, "granted", sim.now))
+        if hold:
+            yield Delay(hold)
+        if release_all:
+            locks.release_all(tid)
+            log.append((tid, "released", sim.now))
+    return sim.spawn(proc())
+
+
+def test_shared_locks_compatible(setup):
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.S, log, hold=10)
+    grab(sim, locks, 2, "k", LockMode.S, log, hold=10)
+    sim.run()
+    grants = [e for e in log if e[1] == "granted"]
+    assert [t for _, _, t in grants] == [0, 0]
+
+
+def test_exclusive_blocks_shared(setup):
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.X, log, hold=50)
+    grab(sim, locks, 2, "k", LockMode.S, log, hold=0)
+    sim.run()
+    assert (2, "granted", 50.0) in log
+
+
+def test_shared_blocks_exclusive(setup):
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.S, log, hold=30)
+    grab(sim, locks, 2, "k", LockMode.X, log, hold=0)
+    sim.run()
+    assert (2, "granted", 30.0) in log
+
+
+def test_fifo_no_starvation_of_writer(setup):
+    """A queued X request must not be starved by later S requests."""
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.S, log, hold=20)
+
+    def late_reader():
+        yield Delay(5)
+        yield from locks.acquire(3, "k", LockMode.S)
+        log.append((3, "granted", sim.now))
+        locks.release_all(3)
+
+    def writer():
+        yield Delay(1)
+        yield from locks.acquire(2, "k", LockMode.X)
+        log.append((2, "granted", sim.now))
+        yield Delay(10)
+        locks.release_all(2)
+
+    sim.spawn(writer())
+    sim.spawn(late_reader())
+    sim.run()
+    writer_grant = next(t for tid, e, t in log if tid == 2 and e == "granted")
+    reader_grant = next(t for tid, e, t in log if tid == 3 and e == "granted")
+    assert writer_grant == 20.0
+    assert reader_grant == 30.0  # behind the writer, despite requesting S
+
+
+def test_reentrant_same_mode(setup):
+    sim, locks = setup
+
+    def proc():
+        yield from locks.acquire(1, "k", LockMode.S)
+        yield from locks.acquire(1, "k", LockMode.S)
+        assert locks.holds(1, "k", LockMode.S)
+
+    sim.run_process(proc())
+
+
+def test_x_then_s_is_noop(setup):
+    sim, locks = setup
+
+    def proc():
+        yield from locks.acquire(1, "k", LockMode.X)
+        yield from locks.acquire(1, "k", LockMode.S)
+        assert locks.holds(1, "k", LockMode.X)
+
+    sim.run_process(proc())
+
+
+def test_upgrade_sole_holder_immediate(setup):
+    sim, locks = setup
+
+    def proc():
+        yield from locks.acquire(1, "k", LockMode.S)
+        yield from locks.acquire(1, "k", LockMode.X)
+        assert locks.holds(1, "k", LockMode.X)
+        return sim.now
+
+    assert sim.run_process(proc()) == 0.0
+
+
+def test_upgrade_waits_for_other_readers(setup):
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 2, "k", LockMode.S, log, hold=25)
+
+    def upgrader():
+        yield from locks.acquire(1, "k", LockMode.S)
+        yield from locks.acquire(1, "k", LockMode.X)
+        log.append((1, "upgraded", sim.now))
+
+    sim.spawn(upgrader())
+    sim.run()
+    assert (1, "upgraded", 25.0) in log
+
+
+def test_upgrade_jumps_queue(setup):
+    """An upgrader already holding S must beat queued X requests, else it
+    deadlocks behind a request blocked on its own S."""
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.S, log, hold=0, release_all=False)
+
+    def other_writer():
+        yield Delay(1)
+        yield from locks.acquire(2, "k", LockMode.X)
+        log.append((2, "granted", sim.now))
+
+    def upgrader():
+        yield Delay(2)
+        yield from locks.acquire(1, "k", LockMode.X)
+        log.append((1, "upgraded", sim.now))
+        locks.release_all(1)
+
+    sim.spawn(other_writer())
+    sim.spawn(upgrader())
+    sim.run()
+    events = [(tid, e) for tid, e, _ in log]
+    assert events.index((1, "upgraded")) < events.index((2, "granted"))
+
+
+def test_timeout_raises_and_cleans_queue(setup):
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.X, log, hold=5000)
+    grab(sim, locks, 2, "k", LockMode.X, log)
+    sim.run()
+    assert (2, "timeout", 1000.0) in log
+    assert locks.stats.timeouts == 1
+    assert locks.waiter_count("k") == 0
+
+
+def test_infinite_timeout_waits_forever(setup):
+    sim, locks = setup
+    log = []
+    grab(sim, locks, 1, "k", LockMode.X, log, hold=5000)
+    grab(sim, locks, 2, "k", LockMode.X, log, timeout_ms=float("inf"))
+    sim.run()
+    assert (2, "granted", 5000.0) in log
+
+
+def test_release_all_returns_keys_and_wakes_waiters(setup):
+    sim, locks = setup
+    log = []
+
+    def holder():
+        yield from locks.acquire(1, "a", LockMode.X)
+        yield from locks.acquire(1, "b", LockMode.X)
+        yield Delay(10)
+        released = locks.release_all(1)
+        assert released == {"a", "b"}
+
+    grabbed = []
+
+    def waiter():
+        yield from locks.acquire(2, "a", LockMode.S)
+        grabbed.append(sim.now)
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert grabbed == [10.0]
+
+
+def test_individual_release(setup):
+    sim, locks = setup
+
+    def proc():
+        yield from locks.acquire(1, "a", LockMode.X)
+        locks.release(1, "a")
+        assert not locks.holds(1, "a")
+        with pytest.raises(KeyError):
+            locks.release(1, "a")
+
+    sim.run_process(proc())
+
+
+def test_lock_history_tracks_active_ever_lockers(setup):
+    sim, locks = setup
+
+    def proc():
+        yield from locks.acquire(7, "k", LockMode.S)
+        locks.release(7, "k")  # short-duration lock released early
+        assert locks.ever_lockers("k") == {7}
+        locks.transaction_finished(7)
+        assert locks.ever_lockers("k") == set()
+
+    sim.run_process(proc())
+
+
+def test_holders_and_held_keys(setup):
+    sim, locks = setup
+
+    def proc():
+        yield from locks.acquire(1, "a", LockMode.S)
+        yield from locks.acquire(2, "a", LockMode.S)
+        yield from locks.acquire(1, "b", LockMode.X)
+        assert locks.holders("a") == {1: LockMode.S, 2: LockMode.S}
+        assert locks.held_keys(1) == {"a", "b"}
+        assert locks.lock_count(1) == 2
+
+    sim.run_process(proc())
+
+
+def test_table_entries_garbage_collected(setup):
+    sim, locks = setup
+
+    def proc():
+        for i in range(100):
+            yield from locks.acquire(1, f"k{i}", LockMode.X)
+        locks.release_all(1)
+
+    sim.run_process(proc())
+    assert len(locks._table) == 0
+
+
+def test_deadlock_resolved_by_timeout(setup):
+    """Classic two-txn deadlock: both time out or one gets through."""
+    sim, locks = setup
+    outcome = []
+
+    def txn(tid, first, second):
+        try:
+            yield from locks.acquire(tid, first, LockMode.X)
+            yield Delay(10)
+            yield from locks.acquire(tid, second, LockMode.X)
+            outcome.append((tid, "ok"))
+        except LockTimeoutError:
+            locks.release_all(tid)
+            outcome.append((tid, "aborted"))
+
+    sim.spawn(txn(1, "a", "b"))
+    sim.spawn(txn(2, "b", "a"))
+    sim.run()
+    assert ("1-ok-2-ok") != "".join(f"{t}-{o}-" for t, o in outcome)
+    assert any(o == "aborted" for _, o in outcome)

@@ -1,0 +1,67 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro import ExperimentConfig, ReorgConfig, SystemConfig, WorkloadConfig
+
+
+class TestWorkloadConfig:
+    def test_defaults_are_table1(self):
+        cfg = WorkloadConfig()
+        assert (cfg.num_partitions, cfg.objects_per_partition, cfg.mpl,
+                cfg.ops_per_trans, cfg.update_prob, cfg.glue_factor) == \
+            (10, 4080, 30, 8, 0.5, 0.05)
+
+    def test_cluster_arithmetic(self):
+        cfg = WorkloadConfig()
+        assert cfg.clusters_per_partition == 48
+        assert cfg.tree_depth == 3
+        assert sum(cfg.branching ** d for d in range(4)) == 85
+
+    def test_objects_must_be_cluster_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            WorkloadConfig(objects_per_partition=100)
+
+    def test_cluster_size_must_be_complete_tree(self):
+        with pytest.raises(ValueError, match="complete"):
+            WorkloadConfig(cluster_size=84, objects_per_partition=84)
+
+    def test_other_branching_factors_work(self):
+        cfg = WorkloadConfig(branching=2, cluster_size=31,
+                             objects_per_partition=62)
+        assert cfg.tree_depth == 4
+
+    def test_copy_overrides(self):
+        base = WorkloadConfig()
+        variant = base.copy(mpl=60)
+        assert variant.mpl == 60
+        assert base.mpl == 30
+        assert variant.objects_per_partition == base.objects_per_partition
+
+
+class TestSystemConfig:
+    def test_paper_constants(self):
+        cfg = SystemConfig()
+        assert cfg.lock_timeout_ms == 1000.0  # §5: one second
+        assert cfg.cpu_count == 1             # uniprocessor
+        assert cfg.strict_transactions        # §2 default
+        assert not cfg.disk_resident          # §5.3: memory-resident
+
+    def test_copy_overrides(self):
+        relaxed = SystemConfig().copy(strict_transactions=False)
+        assert not relaxed.strict_transactions
+        assert relaxed.lock_timeout_ms == 1000.0
+
+
+class TestReorgAndExperiment:
+    def test_reorg_defaults(self):
+        cfg = ReorgConfig()
+        assert cfg.migration_batch_size == 1   # paper's basic IRA
+        assert not cfg.collect_garbage
+        assert cfg.checkpoint_every == 0
+
+    def test_experiment_composition(self):
+        exp = ExperimentConfig()
+        assert exp.workload.mpl == 30
+        assert exp.reorg_partition == 1
+        assert exp.horizon_ms is None

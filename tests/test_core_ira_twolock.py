@@ -1,0 +1,127 @@
+"""Tests for the two-lock extension (§4.2)."""
+
+import pytest
+
+from repro import (
+    CompactionPlan,
+    Database,
+    EvacuationPlan,
+    LockMode,
+    SystemConfig,
+    TwoLockReorganizer,
+    WorkloadConfig,
+)
+from repro.core import references_equal
+from repro.storage import ObjectImage, Oid
+from tests.test_core_ira import graph_signature
+
+
+@pytest.fixture
+def db_layout():
+    return Database.with_workload(
+        WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                       mpl=2, seed=21))
+
+
+def test_two_lock_migrates_everything(db_layout):
+    db, _ = db_layout
+    count = db.partition_stats(1).live_objects
+    stats = db.reorganize(1, algorithm="ira-2lock", plan=EvacuationPlan(9))
+    assert stats.objects_migrated == count
+    assert db.partition_stats(1).live_objects == 0
+    assert db.verify_integrity().ok
+
+
+def test_two_lock_preserves_logical_graph(db_layout):
+    db, layout = db_layout
+    before = graph_signature(db, layout)
+    db.reorganize(1, algorithm="ira-2lock", plan=CompactionPlan())
+    assert graph_signature(db, layout) == before
+    assert db.verify_integrity().ok
+
+
+def test_at_most_three_raw_locks_ie_two_distinct_objects(db_layout):
+    """§4.2's claim: locks on at most two *distinct objects* at any time —
+    the migrating object (old + new address = 2 raw locks) plus one
+    parent (1 raw lock)."""
+    db, _ = db_layout
+    stats = db.reorganize(1, algorithm="ira-2lock", plan=CompactionPlan())
+    assert stats.max_locks_held <= 3
+
+
+def test_two_lock_holds_object_lock_during_migration(db_layout):
+    """While an object migrates, both its locations are X-locked: no
+    transaction can lock the object being migrated."""
+    db, _ = db_layout
+    engine = db.engine
+    observed = []
+
+    reorg = TwoLockReorganizer(engine, 1, plan=CompactionPlan())
+    original = reorg._patch_parents_one_at_a_time
+
+    def spying(anchor, oid, new_oid):
+        holders_old = engine.locks.holders(oid)
+        holders_new = engine.locks.holders(new_oid)
+        observed.append(
+            (holders_old.get(anchor.tid), holders_new.get(anchor.tid)))
+        return original(anchor, oid, new_oid)
+    reorg._patch_parents_one_at_a_time = spying
+
+    db.run(reorg.run(), name="2lock")
+    assert observed, "no migrations observed"
+    assert all(pair == (LockMode.X, LockMode.X) for pair in observed)
+
+
+def test_mixed_pointer_comparison_helper():
+    old, new, other = Oid(1, 0, 0), Oid(1, 9, 0), Oid(2, 2, 2)
+    in_flight = {old: new}
+    assert references_equal(old, new, in_flight)
+    assert references_equal(new, old, in_flight)
+    assert references_equal(old, old, in_flight)
+    assert not references_equal(old, other, in_flight)
+    assert not references_equal(other, new, {})
+
+
+def test_two_lock_with_short_duration_locks(db_layout):
+    """§4.2 + §4.1: the extension composes with non-strict transactions."""
+    wl = WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                        mpl=2, seed=21)
+    db, layout = Database.with_workload(
+        wl, system=SystemConfig(strict_transactions=False))
+    before = graph_signature(db, layout)
+    stats = db.reorganize(1, algorithm="ira-2lock", plan=CompactionPlan())
+    assert stats.objects_migrated == 170
+    assert graph_signature(db, layout) == before
+    assert db.verify_integrity().ok
+
+
+def test_two_lock_parent_patch_batching(db_layout):
+    from repro import ReorgConfig
+    db, layout = db_layout
+    before = graph_signature(db, layout)
+    stats = db.reorganize(1, algorithm="ira-2lock", plan=CompactionPlan(),
+                          reorg_config=ReorgConfig(migration_batch_size=4))
+    assert stats.objects_migrated == 170
+    assert graph_signature(db, layout) == before
+    assert db.verify_integrity().ok
+
+
+def test_two_lock_self_reference():
+    db = Database()
+    db.create_partition(1)
+    db.create_partition(2)
+
+    def build():
+        txn = db.engine.txns.begin(system=True)
+        oid = yield from txn.create_object(
+            1, ObjectImage.new(2, payload=b"self"))
+        yield from txn.insert_ref(oid, oid)
+        yield from txn.create_object(2, ObjectImage.new(1, refs=[oid]))
+        yield from txn.commit()
+        return oid
+    oid = db.run(build())
+
+    stats = db.reorganize(1, algorithm="ira-2lock", plan=EvacuationPlan(3))
+    new = stats.mapping[oid]
+    assert db.store.read_object(new).children() == [new]
+    assert db.verify_integrity().ok

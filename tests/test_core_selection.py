@@ -1,0 +1,110 @@
+"""Tests for partition-selection policies."""
+
+import pytest
+
+from repro import Database, WorkloadConfig
+from repro.core import PartitionSelector, fragmentation_score, \
+    garbage_estimate
+from repro.storage import ObjectImage
+
+
+@pytest.fixture
+def db_layout():
+    return Database.with_workload(
+        WorkloadConfig(num_partitions=3, objects_per_partition=170,
+                       mpl=2, seed=111))
+
+
+def punch_holes(db, partition_id, count=40):
+    def churn():
+        txn = db.engine.txns.begin(system=True)
+        scratch = []
+        for _ in range(count):
+            oid = yield from txn.create_object(
+                partition_id, ObjectImage.new(1, payload=bytes(120)))
+            scratch.append(oid)
+        for oid in scratch:
+            yield from txn.delete_object(oid)
+        yield from txn.commit()
+    db.run(churn())
+
+
+def make_garbage(db, layout, partition_id, count=10):
+    root = layout.cluster_roots[partition_id][0]
+
+    def build(txn):
+        yield from txn.read(root)
+        prev = None
+        for _ in range(count):
+            prev = yield from txn.create_object(
+                partition_id,
+                ObjectImage.new(2, payload=b"junk" * 8,
+                                refs=[prev] if prev else []))
+        yield from txn.insert_ref(root, prev)
+        return prev
+    head = db.execute(build)
+
+    def cut(txn):
+        yield from txn.read(root)
+        yield from txn.delete_ref(root, head)
+    db.execute(cut)
+
+
+def test_fragmentation_policy_targets_holey_partition(db_layout):
+    db, _ = db_layout
+    punch_holes(db, 2)
+    selector = PartitionSelector("fragmentation")
+    assert selector.choose(db.engine, candidates=[1, 2, 3]) == 2
+    ranking = selector.rank(db.engine, [1, 2, 3])
+    assert ranking[0][0] == 2
+    assert fragmentation_score(db.engine, 2) > \
+        fragmentation_score(db.engine, 1)
+
+
+def test_garbage_policy_targets_garbage_partition(db_layout):
+    db, layout = db_layout
+    make_garbage(db, layout, 3, count=12)
+    selector = PartitionSelector("garbage")
+    assert selector.choose(db.engine, candidates=[1, 2, 3]) == 3
+    count, size = garbage_estimate(db.engine, 3)
+    assert count == 12
+    assert size > 0
+    assert garbage_estimate(db.engine, 1) == (0, 0)
+
+
+def test_round_robin_rotates(db_layout):
+    db, _ = db_layout
+    selector = PartitionSelector("round-robin")
+    picks = [selector.choose(db.engine, candidates=[1, 2, 3])
+             for _ in range(6)]
+    assert picks == [1, 2, 3, 1, 2, 3]
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        PartitionSelector("vibes")
+
+
+def test_choose_returns_none_when_nothing_to_do(db_layout):
+    db, _ = db_layout
+    # Freshly loaded partitions are packed and garbage-free.
+    assert PartitionSelector("garbage").choose(
+        db.engine, candidates=[1, 2, 3]) is None
+
+
+def test_selection_feeds_reorganization_end_to_end(db_layout):
+    db, layout = db_layout
+    punch_holes(db, 1)
+    make_garbage(db, layout, 2, count=8)
+
+    pid = PartitionSelector("fragmentation").choose(db.engine,
+                                                    candidates=[1, 2, 3])
+    frag_before = db.partition_stats(pid).fragmentation
+    db.compact(pid)
+    assert db.partition_stats(pid).fragmentation < frag_before
+
+    pid = PartitionSelector("garbage").choose(db.engine,
+                                              candidates=[1, 2, 3])
+    stats = db.collect_garbage(pid, method="mark-sweep")
+    assert stats.reclaimed_objects == 8
+    assert db.verify_integrity().ok

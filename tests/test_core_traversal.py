@@ -1,0 +1,170 @@
+"""Tests for the fuzzy traversal (Fig. 3) and Lemma 3.1 mechanics."""
+
+import pytest
+
+from repro import StorageEngine, SystemConfig
+from repro.core import TraversalResult, find_objects_and_approx_parents, \
+    fuzzy_traversal
+from tests.conftest import committed, make_object, run
+
+
+@pytest.fixture
+def engine():
+    eng = StorageEngine(SystemConfig())
+    eng.create_partition(1)
+    eng.create_partition(2)
+    return eng
+
+
+def build_chain(engine, partition=1, length=5):
+    """root <- external parent; root -> n1 -> n2 -> ..."""
+    def body(txn):
+        chain = []
+        prev = None
+        for _ in range(length):
+            oid = yield from txn.create_object(
+                partition, make_object(refs=[prev] if prev else []))
+            chain.append(oid)
+            prev = oid
+        external = yield from txn.create_object(
+            2, make_object(refs=[chain[-1]]))
+        return list(reversed(chain)), external
+    return committed(engine, body)
+
+
+def test_traversal_finds_reachable_objects(engine):
+    chain, _ = build_chain(engine)
+    trt = engine.activate_trt(1)
+
+    def go():
+        result = yield from find_objects_and_approx_parents(engine, 1, trt)
+        return result
+    result = run(engine, go())
+    assert set(result.objects) == set(chain)
+
+
+def test_traversal_builds_parent_lists(engine):
+    chain, _ = build_chain(engine)
+    trt = engine.activate_trt(1)
+
+    def go():
+        return (yield from find_objects_and_approx_parents(engine, 1, trt))
+    result = run(engine, go())
+    # chain[i] is the parent of chain[i+1]
+    for parent, child in zip(chain, chain[1:]):
+        assert result.parents_of(child) == {parent}
+    # the head's parents are external (ERT), not in the traversal lists
+    assert result.parents_of(chain[0]) == set()
+
+
+def test_traversal_restricted_to_partition(engine):
+    def body(txn):
+        foreign = yield from txn.create_object(2, make_object())
+        local = yield from txn.create_object(1, make_object(refs=[foreign]))
+        anchor = yield from txn.create_object(2, make_object(refs=[local]))
+        return local, foreign
+    local, foreign = committed(engine, body)
+    trt = engine.activate_trt(1)
+
+    def go():
+        return (yield from find_objects_and_approx_parents(engine, 1, trt))
+    result = run(engine, go())
+    assert set(result.objects) == {local}
+
+
+def test_unreachable_objects_not_found_from_ert_seeds(engine):
+    chain, _ = build_chain(engine)
+
+    def orphan(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"orphan"))
+        return oid
+    orphan_oid = committed(engine, orphan)
+    trt = engine.activate_trt(1)
+
+    def go():
+        return (yield from find_objects_and_approx_parents(engine, 1, trt))
+    result = run(engine, go())
+    assert orphan_oid not in result.objects  # it is garbage
+
+
+def test_trt_reseeding_rescues_cut_subtrees(engine):
+    """Fig. 3 L2 / Lemma 3.1: a subtree whose only incoming reference was
+    cut by a still-active transaction is traversed via the TRT's delete
+    tuple — the transaction could reinsert the reference later."""
+    chain, external = build_chain(engine)
+    trt = engine.activate_trt(1)
+
+    def scenario():
+        cutter = engine.txns.begin()
+        yield from cutter.read(chain[0])
+        yield from cutter.delete_ref(chain[0], chain[1])
+        # Traversal runs while the cutter is still active: chain[1:] is
+        # unreachable from the ERT, but the delete tuple reseeds it.
+        result = yield from find_objects_and_approx_parents(engine, 1, trt)
+        yield from cutter.commit()
+        return result
+    result = run(engine, scenario())
+    assert set(chain[1:]).issubset(set(result.objects))
+
+
+def test_committed_cut_subtree_is_garbage_not_traversed(engine):
+    """Once the cutter commits (without reinserting), the §4.5 purge drops
+    the delete tuple and the subtree is correctly classified garbage."""
+    chain, external = build_chain(engine)
+    trt = engine.activate_trt(1)
+
+    def cut(txn):
+        yield from txn.read(chain[0])
+        yield from txn.delete_ref(chain[0], chain[1])
+    committed(engine, cut)
+
+    def go():
+        return (yield from find_objects_and_approx_parents(engine, 1, trt))
+    result = run(engine, go())
+    assert set(result.objects) == {chain[0]}
+
+
+def test_freed_seeds_are_skipped(engine):
+    chain, _ = build_chain(engine)
+    trt = engine.activate_trt(1)
+    trt.record_delete(chain[-1], chain[-2], tid=999)
+    # Free the object the stale tuple points at.
+    def drop(txn):
+        yield from txn.read(chain[-2])
+        yield from txn.delete_ref(chain[-2], chain[-1])
+        yield from txn.delete_object(chain[-1])
+    committed(engine, drop)
+
+    def go():
+        return (yield from find_objects_and_approx_parents(engine, 1, trt))
+    result = run(engine, go())
+    assert chain[-1] not in result.objects
+
+
+def test_multiple_parents_recorded(engine):
+    def body(txn):
+        child = yield from txn.create_object(1, make_object())
+        p1 = yield from txn.create_object(1, make_object(refs=[child]))
+        p2 = yield from txn.create_object(1, make_object(refs=[child]))
+        anchor = yield from txn.create_object(2, make_object(refs=[p1, p2]))
+        return child, p1, p2
+    child, p1, p2 = committed(engine, body)
+    trt = engine.activate_trt(1)
+
+    def go():
+        return (yield from find_objects_and_approx_parents(engine, 1, trt))
+    result = run(engine, go())
+    assert result.parents_of(child) == {p1, p2}
+
+
+def test_fuzzy_traversal_takes_latches_not_locks(engine):
+    chain, _ = build_chain(engine)
+    result = TraversalResult()
+
+    def go():
+        yield from fuzzy_traversal(engine, 1, [chain[0]], result)
+    run(engine, go())
+    # No lock table entries were created for the traversed objects.
+    for oid in chain:
+        assert engine.locks.holders(oid) == {}
+    assert engine.latches.acquisitions == len(chain)

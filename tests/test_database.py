@@ -1,0 +1,101 @@
+"""Tests for the high-level Database facade."""
+
+import pytest
+
+from repro import (
+    CompactionPlan,
+    Database,
+    LockTimeoutError,
+    SystemConfig,
+    WorkloadConfig,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_partition(1)
+    database.create_partition(2)
+    return database
+
+
+def test_create_and_read_object(db):
+    oid = db.create_object(1, ref_capacity=2, payload=b"hi")
+    assert db.read_object(oid).payload == b"hi"
+
+
+def test_create_object_with_refs(db):
+    child = db.create_object(1, ref_capacity=0, payload=b"c")
+    parent = db.create_object(2, ref_capacity=2, refs=[child])
+    assert db.read_object(parent).children() == [child]
+    assert db.verify_integrity().ok
+
+
+def test_execute_commits(db):
+    def body(txn):
+        from repro.storage import ObjectImage
+        oid = yield from txn.create_object(1, ObjectImage.new(1))
+        return oid
+    oid = db.execute(body)
+    assert db.store.exists(oid)
+
+
+def test_execute_aborts_on_exception(db):
+    created = []
+
+    def body(txn):
+        from repro.storage import ObjectImage
+        oid = yield from txn.create_object(1, ObjectImage.new(1))
+        created.append(oid)
+        raise RuntimeError("boom")
+        yield  # pragma: no cover
+
+    with pytest.raises(RuntimeError, match="boom"):
+        db.execute(body)
+    assert not db.store.exists(created[0])
+
+
+def test_reorganize_unknown_algorithm_rejected(db):
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        db.reorganize(1, algorithm="magic")
+
+
+def test_all_registered_algorithms_run():
+    for algorithm in ("ira", "ira-2lock", "pqr", "offline"):
+        database, _ = Database.with_workload(WorkloadConfig(
+            num_partitions=2, objects_per_partition=85, mpl=2, seed=61))
+        stats = database.reorganize(1, algorithm=algorithm,
+                                    plan=CompactionPlan())
+        assert stats.algorithm == algorithm
+        assert stats.objects_migrated == 85
+        assert database.verify_integrity().ok
+
+
+def test_compact_shorthand():
+    database, _ = Database.with_workload(WorkloadConfig(
+        num_partitions=2, objects_per_partition=85, mpl=2))
+    stats = database.compact(1)
+    assert stats.objects_migrated == 85
+
+
+def test_checkpoint_crash_recover_roundtrip(db):
+    oid = db.create_object(1, ref_capacity=1, payload=b"durable")
+    db.checkpoint()
+    recovered = Database.recover(db.crash())
+    assert recovered.read_object(oid).payload == b"durable"
+    assert recovered.verify_integrity().ok
+
+
+def test_with_workload_applies_system_config():
+    system = SystemConfig(lock_timeout_ms=123.0)
+    database, _ = Database.with_workload(
+        WorkloadConfig(num_partitions=2, objects_per_partition=85, mpl=2),
+        system=system)
+    assert database.engine.locks.timeout_ms == 123.0
+
+
+def test_partition_stats(db):
+    db.create_object(1, ref_capacity=1, payload=b"x" * 100)
+    stats = db.partition_stats(1)
+    assert stats.live_objects == 1
+    assert stats.capacity_bytes > 0

@@ -1,0 +1,139 @@
+"""Unit + property tests for the extendible hash index."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import ExtendibleHashIndex
+
+
+def test_insert_and_get():
+    idx = ExtendibleHashIndex()
+    idx.insert(1, "a")
+    idx.insert(1, "b")
+    assert idx.get(1) == {"a", "b"}
+    assert idx.get(2) == set()
+
+
+def test_duplicate_insert_rejected():
+    idx = ExtendibleHashIndex()
+    assert idx.insert(1, "a")
+    assert not idx.insert(1, "a")
+    assert len(idx) == 1
+
+
+def test_remove():
+    idx = ExtendibleHashIndex()
+    idx.insert(1, "a")
+    assert idx.remove(1, "a")
+    assert not idx.remove(1, "a")
+    assert idx.get(1) == set()
+    assert 1 not in idx
+
+
+def test_remove_key():
+    idx = ExtendibleHashIndex()
+    for value in "abc":
+        idx.insert(5, value)
+    assert idx.remove_key(5) == 3
+    assert len(idx) == 0
+    assert idx.remove_key(5) == 0
+
+
+def test_contains():
+    idx = ExtendibleHashIndex()
+    idx.insert(3, "x")
+    assert idx.contains(3, "x")
+    assert not idx.contains(3, "y")
+    assert 3 in idx
+    assert 4 not in idx
+
+
+def test_directory_doubles_under_load():
+    idx = ExtendibleHashIndex(bucket_capacity=2)
+    for key in range(100):
+        idx.insert(key, key)
+    assert idx.global_depth > 1
+    for key in range(100):
+        assert idx.get(key) == {key}
+
+
+def test_sequential_packed_oid_like_keys():
+    # Packed OIDs differ only in low bits patterns; the hash mix must
+    # spread them rather than pile them into one bucket chain.
+    idx = ExtendibleHashIndex(bucket_capacity=4)
+    keys = [(1 << 48) | (page << 16) | slot
+            for page in range(20) for slot in range(20)]
+    for key in keys:
+        idx.insert(key, "v")
+    assert len(idx) == len(keys)
+    for key in keys:
+        assert idx.contains(key, "v")
+
+
+def test_keys_and_items_cover_everything():
+    idx = ExtendibleHashIndex(bucket_capacity=2)
+    expected = set()
+    for key in range(30):
+        for value in range(2):
+            idx.insert(key, value)
+            expected.add((key, value))
+    assert set(idx.items()) == expected
+    assert sorted(idx.keys()) == sorted(range(30))
+
+
+def test_clear():
+    idx = ExtendibleHashIndex(bucket_capacity=2)
+    for key in range(50):
+        idx.insert(key, key)
+    idx.clear()
+    assert len(idx) == 0
+    idx.insert(1, "back")
+    assert idx.get(1) == {"back"}
+
+
+def test_non_integer_keys():
+    idx = ExtendibleHashIndex()
+    idx.insert("alpha", 1)
+    idx.insert(("tuple", 2), 2)
+    assert idx.get("alpha") == {1}
+    assert idx.get(("tuple", 2)) == {2}
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["insert", "remove"]),
+              st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=5))))
+def test_behaves_like_dict_of_sets(ops):
+    """Model-based: the index agrees with a plain dict-of-sets."""
+    idx = ExtendibleHashIndex(bucket_capacity=2)
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            expected = value not in model.get(key, set())
+            assert idx.insert(key, value) == expected
+            model.setdefault(key, set()).add(value)
+        else:
+            expected = value in model.get(key, set())
+            assert idx.remove(key, value) == expected
+            if expected:
+                model[key].discard(value)
+                if not model[key]:
+                    del model[key]
+    assert len(idx) == sum(len(v) for v in model.values())
+    for key, values in model.items():
+        assert idx.get(key) == values
+    assert set(idx.items()) == {(k, v) for k, vs in model.items()
+                                for v in vs}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.sets(st.integers(min_value=0, max_value=10_000), max_size=300))
+def test_any_bucket_capacity_holds_any_keys(capacity, keys):
+    idx = ExtendibleHashIndex(bucket_capacity=capacity)
+    for key in keys:
+        idx.insert(key, key * 2)
+    assert sorted(idx.keys()) == sorted(keys)
+    for key in keys:
+        assert idx.get(key) == {key * 2}

@@ -1,0 +1,125 @@
+"""Property-based tests: reorganization on arbitrary object graphs.
+
+Hypothesis generates random object graphs (arbitrary reference structure,
+including cycles, self-loops, duplicate edges, cross-partition edges and
+unreachable islands); every reorganization algorithm must preserve the
+logical structure and every physical invariant.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CompactionPlan,
+    Database,
+    EvacuationPlan,
+    ReorgConfig,
+)
+from repro.storage import ObjectImage
+
+# A graph description: for each object, the list of children by index,
+# plus which partition (1 or 2) it lives in.
+graph_descriptions = st.integers(min_value=1, max_value=24).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.lists(st.integers(min_value=0, max_value=n - 1),
+                          max_size=4),
+                 min_size=n, max_size=n),
+        st.lists(st.sampled_from([1, 2]), min_size=n, max_size=n),
+    ))
+
+
+def build_graph(description):
+    """Materialize a generated graph; returns (db, oids)."""
+    n, edges, partitions = description
+    db = Database()
+    db.create_partition(1)
+    db.create_partition(2)
+    db.create_partition(3)  # anchor partition (stands in for roots)
+
+    def loader():
+        txn = db.engine.txns.begin(system=True)
+        oids = []
+        for i in range(n):
+            image = ObjectImage.new(4, payload=b"obj-%04d" % i)
+            oid = yield from txn.create_object(partitions[i], image)
+            oids.append(oid)
+        for i, children in enumerate(edges):
+            for slot, child_index in enumerate(children):
+                yield from txn.update_ref(oids[i], slot, oids[child_index])
+        # Anchor every object so nothing is garbage (GC behaviour is
+        # tested separately with deliberate garbage).
+        for i in range(0, n, 3):
+            yield from txn.create_object(
+                3, ObjectImage.new(3, refs=oids[i:i + 3]))
+        yield from txn.commit()
+        return oids
+    oids = db.run(loader())
+    return db, oids
+
+
+def signature(db):
+    """Canonical, address-free form of the whole database."""
+    sig = []
+    for oid in db.store.all_live_oids():
+        image = db.store.read_object(oid)
+        children = tuple(sorted(
+            db.store.read_object(c).payload for c in image.children()))
+        sig.append((image.payload, children))
+    return sorted(sig)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph_descriptions, st.sampled_from(["ira", "ira-2lock", "pqr",
+                                            "offline"]))
+def test_reorg_preserves_arbitrary_graphs(description, algorithm):
+    db, oids = build_graph(description)
+    before = signature(db)
+    assert db.verify_integrity().ok
+    stats = db.reorganize(1, algorithm=algorithm, plan=CompactionPlan())
+    in_p1 = sum(1 for oid in oids if oid.partition == 1)
+    assert stats.objects_migrated == in_p1
+    assert signature(db) == before
+    report = db.verify_integrity()
+    assert report.ok, report.problems()[:5]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph_descriptions,
+       st.sampled_from(["ira", "ira-2lock"]),
+       st.integers(min_value=1, max_value=7))
+def test_batched_evacuation_of_arbitrary_graphs(description, algorithm,
+                                                batch):
+    db, oids = build_graph(description)
+    before = signature(db)
+    db.reorganize(1, algorithm=algorithm, plan=EvacuationPlan(9),
+                  reorg_config=ReorgConfig(migration_batch_size=batch))
+    assert db.partition_stats(1).live_objects == 0
+    assert signature(db) == before
+    assert db.verify_integrity().ok
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph_descriptions)
+def test_crash_recovery_of_arbitrary_graphs(description):
+    db, _ = build_graph(description)
+    before = signature(db)
+    recovered = Database.recover(db.crash())
+    assert signature(recovered) == before
+    assert recovered.verify_integrity().ok
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph_descriptions)
+def test_double_reorg_idempotent_on_arbitrary_graphs(description):
+    db, _ = build_graph(description)
+    before = signature(db)
+    db.reorganize(1, algorithm="ira", plan=CompactionPlan())
+    db.reorganize(2, algorithm="ira", plan=CompactionPlan())
+    db.reorganize(1, algorithm="ira", plan=CompactionPlan())
+    assert signature(db) == before
+    assert db.verify_integrity().ok

@@ -1,0 +1,109 @@
+"""Model-based property tests for the page/partition layer."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Page, PageFullError, Partition, PartitionFullError
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.binary(min_size=1, max_size=60)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("update"), st.integers(min_value=0, max_value=30),
+                  st.binary(min_size=1, max_size=60)),
+        st.tuples(st.just("write"), st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=0, max_value=10),
+                  st.binary(min_size=1, max_size=8)),
+    ),
+    max_size=60)
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops)
+def test_page_agrees_with_model(operations):
+    page = Page(512)
+    model = {}
+    for op in operations:
+        if op[0] == "insert":
+            try:
+                slot = page.insert(op[1])
+            except PageFullError:
+                continue
+            assert slot not in model
+            model[slot] = op[1]
+        elif op[0] == "delete":
+            slot = op[1]
+            if slot in model:
+                page.delete(slot)
+                del model[slot]
+        elif op[0] == "update":
+            slot = op[1]
+            if slot in model:
+                try:
+                    page.update(slot, op[2])
+                except PageFullError:
+                    continue
+                model[slot] = op[2]
+        elif op[0] == "write":
+            slot, start, data = op[1], op[2], op[3]
+            if slot in model and start + len(data) <= len(model[slot]):
+                page.write_bytes(slot, start, data)
+                record = bytearray(model[slot])
+                record[start:start + len(data)] = data
+                model[slot] = bytes(record)
+    # Full agreement at the end.
+    assert set(page.slots()) == set(model)
+    for slot, expected in model.items():
+        assert page.read(slot) == expected
+    assert page.live_slot_count == len(model)
+
+
+@settings(max_examples=100, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.binary(min_size=1, max_size=100)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=50)),
+    ),
+    max_size=80))
+def test_partition_agrees_with_model(operations):
+    part = Partition(1, page_size=256)
+    model = {}
+    allocated_order = []
+    for op in operations:
+        if op[0] == "alloc":
+            try:
+                oid = part.allocate(op[1])
+            except PartitionFullError:
+                continue
+            assert oid not in model, "allocator reused a live address"
+            model[oid] = op[1]
+            allocated_order.append(oid)
+        else:
+            index = op[1]
+            if index < len(allocated_order):
+                oid = allocated_order[index]
+                if oid in model:
+                    part.free(oid)
+                    del model[oid]
+    assert set(part.live_oids()) == set(model)
+    for oid, expected in model.items():
+        assert part.read(oid) == expected
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.binary(min_size=1, max_size=120), max_size=40))
+def test_partition_snapshot_restore_equivalence(payloads):
+    part = Partition(1, page_size=512)
+    oids = []
+    for payload in payloads:
+        oids.append(part.allocate(payload))
+    # Free every third object, snapshot, restore, compare.
+    for oid in oids[::3]:
+        part.free(oid)
+    clone = Partition.restore(part.snapshot())
+    assert list(clone.live_oids()) == list(part.live_oids())
+    for oid in part.live_oids():
+        assert clone.read(oid) == part.read(oid)

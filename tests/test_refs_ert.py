@@ -1,0 +1,82 @@
+"""Unit tests for the External Reference Table."""
+
+import pytest
+
+from repro.refs import ExternalReferenceTable
+from repro.storage import Oid
+
+
+@pytest.fixture
+def ert():
+    return ExternalReferenceTable(partition_id=1)
+
+
+def test_add_and_parents_of(ert):
+    child, parent = Oid(1, 0, 0), Oid(2, 0, 0)
+    assert ert.add(child, parent)
+    assert ert.parents_of(child) == {parent}
+    assert ert.contains(child, parent)
+
+
+def test_duplicate_add_rejected(ert):
+    child, parent = Oid(1, 0, 0), Oid(2, 0, 0)
+    ert.add(child, parent)
+    assert not ert.add(child, parent)
+    assert len(ert) == 1
+
+
+def test_remove(ert):
+    child, parent = Oid(1, 0, 0), Oid(2, 0, 0)
+    ert.add(child, parent)
+    assert ert.remove(child, parent)
+    assert not ert.remove(child, parent)
+    assert ert.parents_of(child) == set()
+
+
+def test_child_must_be_in_partition(ert):
+    with pytest.raises(ValueError):
+        ert.add(Oid(2, 0, 0), Oid(3, 0, 0))
+
+
+def test_internal_reference_rejected(ert):
+    """The ERT only holds references coming from *other* partitions."""
+    with pytest.raises(ValueError):
+        ert.add(Oid(1, 0, 0), Oid(1, 0, 1))
+
+
+def test_referenced_objects_are_traversal_seeds(ert):
+    children = {Oid(1, 0, i) for i in range(5)}
+    for i, child in enumerate(sorted(children)):
+        ert.add(child, Oid(2, 0, i))
+        ert.add(child, Oid(3, 0, i))
+    assert set(ert.referenced_objects()) == children
+
+
+def test_all_parents_for_pqr(ert):
+    ert.add(Oid(1, 0, 0), Oid(2, 0, 0))
+    ert.add(Oid(1, 0, 1), Oid(2, 0, 0))
+    ert.add(Oid(1, 0, 1), Oid(3, 0, 7))
+    assert ert.all_parents() == {Oid(2, 0, 0), Oid(3, 0, 7)}
+
+
+def test_entries_enumerates_pairs(ert):
+    pairs = {(Oid(1, 0, i), Oid(2, 0, i)) for i in range(4)}
+    for child, parent in pairs:
+        ert.add(child, parent)
+    assert set(ert.entries()) == pairs
+
+
+def test_snapshot_restore_roundtrip(ert):
+    for i in range(10):
+        ert.add(Oid(1, 0, i), Oid(2, i, 0))
+    clone = ExternalReferenceTable.restore(1, ert.snapshot())
+    assert set(clone.entries()) == set(ert.entries())
+    assert len(clone) == len(ert)
+
+
+def test_many_parents_per_child(ert):
+    child = Oid(1, 5, 5)
+    parents = {Oid(2, 0, i) for i in range(50)}
+    for parent in parents:
+        ert.add(child, parent)
+    assert ert.parents_of(child) == parents

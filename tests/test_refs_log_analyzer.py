@@ -1,0 +1,169 @@
+"""Tests for the log analyzer: ERT/TRT maintenance from the log stream."""
+
+import pytest
+
+from repro import StorageEngine, SystemConfig
+from tests.conftest import committed, committed_system, make_object, run
+
+
+@pytest.fixture
+def engine():
+    eng = StorageEngine(SystemConfig())
+    eng.create_partition(1)
+    eng.create_partition(2)
+    return eng
+
+
+def test_ert_built_from_logged_creates(engine):
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, body)
+    assert engine.ert_for(2).contains(child, parent)
+    assert not list(engine.ert_for(1).referenced_objects())
+
+
+def test_ert_follows_ref_updates(engine):
+    def setup(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    def cut(txn):
+        yield from txn.read(parent)
+        yield from txn.delete_ref(parent, child)
+    committed(engine, cut)
+    assert not engine.ert_for(2).contains(child, parent)
+
+    def reinsert(txn):
+        yield from txn.read(parent)  # no ref to child anymore...
+        txn.local_refs.add(child)    # ...model a remembered reference
+        yield from txn.insert_ref(parent, child)
+    committed(engine, reinsert)
+    assert engine.ert_for(2).contains(child, parent)
+
+
+def test_intra_partition_refs_not_in_ert(engine):
+    def body(txn):
+        child = yield from txn.create_object(1, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    committed(engine, body)
+    assert len(engine.ert_for(1)) == 0
+
+
+def test_ert_follows_object_delete(engine):
+    def setup(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    def drop(txn):
+        yield from txn.read(parent)
+        yield from txn.delete_ref(parent, child)
+        yield from txn.delete_object(child)
+    committed(engine, drop)
+    assert len(engine.ert_for(2)) == 0
+
+
+def test_trt_records_user_ref_updates_when_active(engine):
+    trt = engine.activate_trt(2)
+
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, body)
+    entries = trt.entries_for(child)
+    assert {(e.parent, e.action) for e in entries} == {(parent, "I")}
+
+
+def test_trt_ignores_its_own_reorganizers_transactions(engine):
+    trt = engine.activate_trt(2)
+
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    # A transaction owned by partition 2's reorganizer: its TRT skips it.
+    parent, child = committed_system(engine, body, reorg_partition=2)
+    assert not trt.has_entries_for(child)
+    assert child not in trt.created_since_activation
+    # ...but the ERT is maintained for system transactions too.
+    assert engine.ert_for(2).contains(child, parent)
+
+
+def test_trt_records_other_reorganizers_transactions(engine):
+    """Concurrent reorganizations of referencing partitions must see each
+    other's reference patches: only the *owning* reorganizer is skipped."""
+    trt = engine.activate_trt(2)
+
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    # A system transaction owned by partition 1's reorganizer.
+    parent, child = committed_system(engine, body, reorg_partition=1)
+    entries = trt.entries_for(child)
+    assert {(e.parent, e.action) for e in entries} == {(parent, "I")}
+
+
+def test_trt_inactive_partitions_not_recorded(engine):
+    engine.activate_trt(2)
+
+    def body(txn):
+        child = yield from txn.create_object(1, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return child
+    committed(engine, body)  # partition 1 has no active TRT
+    assert len(engine.analyzer.trt(2)) == 0
+
+
+def test_abort_reintroduction_lands_in_trt_as_insert(engine):
+    """§4.5: an abort that restores a deleted reference counts as an
+    insertion — delivered through the CLR's inner action."""
+    def setup(txn):
+        child = yield from txn.create_object(1, make_object())
+        parent = yield from txn.create_object(2, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    trt = engine.activate_trt(1)
+
+    def delete_then_abort():
+        txn = engine.txns.begin()
+        yield from txn.read(parent)
+        yield from txn.delete_ref(parent, child)
+        yield from txn.abort()
+    run(engine, delete_then_abort())
+
+    inserts = [e for e in trt.entries_for(child) if e.action == "I"]
+    assert [(e.parent) for e in inserts] == [parent]
+
+
+def test_trt_purge_triggered_by_end_records(engine):
+    def setup(txn):
+        child = yield from txn.create_object(1, make_object())
+        parent = yield from txn.create_object(2, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    trt = engine.activate_trt(1)
+
+    def cut(txn):
+        yield from txn.read(parent)
+        yield from txn.delete_ref(parent, child)
+    committed(engine, cut)
+    # Strict 2PL: the delete tuple is purged once the deleter ends.
+    assert not trt.has_entries_for(child)
+
+
+def test_activate_twice_rejected(engine):
+    engine.activate_trt(1)
+    with pytest.raises(RuntimeError):
+        engine.activate_trt(1)
+    engine.deactivate_trt(1)
+    engine.activate_trt(1)  # fine after deactivation

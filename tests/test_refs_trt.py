@@ -1,0 +1,125 @@
+"""Unit tests for the Temporary Reference Table and its §4.5 purges."""
+
+import pytest
+
+from repro.refs import TemporaryReferenceTable
+from repro.storage import Oid
+
+C = Oid(1, 0, 0)   # referenced object in partition 1
+R = Oid(2, 0, 0)   # a parent
+R2 = Oid(2, 0, 1)  # another parent
+
+
+@pytest.fixture
+def trt():
+    return TemporaryReferenceTable(partition_id=1)
+
+
+def test_record_and_query(trt):
+    trt.record_insert(C, R, tid=5)
+    trt.record_delete(C, R2, tid=6)
+    entries = trt.entries_for(C)
+    assert {(e.parent, e.action) for e in entries} == {(R, "I"), (R2, "D")}
+    assert trt.has_entries_for(C)
+    assert len(trt) == 2
+
+
+def test_child_partition_checked(trt):
+    with pytest.raises(ValueError):
+        trt.record_insert(Oid(2, 0, 0), R, tid=1)
+
+
+def test_pop_entry(trt):
+    trt.record_insert(C, R, tid=1)
+    entry = next(iter(trt.entries_for(C)))
+    assert trt.pop_entry(entry)
+    assert not trt.pop_entry(entry)
+    assert not trt.has_entries_for(C)
+    assert trt.stats.drained == 1
+
+
+def test_referenced_objects(trt):
+    other = Oid(1, 3, 3)
+    trt.record_insert(C, R, tid=1)
+    trt.record_delete(other, R, tid=1)
+    assert set(trt.referenced_objects()) == {C, other}
+
+
+def test_all_parents(trt):
+    trt.record_insert(C, R, tid=1)
+    trt.record_delete(C, R2, tid=2)
+    assert trt.all_parents() == {R, R2}
+
+
+def test_strict_purge_removes_delete_tuples_on_end(trt):
+    trt.record_delete(C, R, tid=7)
+    purged = trt.on_transaction_end(7, strict_2pl=True)
+    assert purged == 1
+    assert not trt.has_entries_for(C)
+
+
+def test_strict_purge_removes_earlier_insert_of_same_ref(trt):
+    # Some txn inserted R->C, then txn 9 deleted it and committed: both
+    # tuples are now redundant (§4.5).
+    trt.record_insert(C, R, tid=8)
+    trt.record_delete(C, R, tid=9)
+    trt.on_transaction_end(9, strict_2pl=True)
+    assert not trt.has_entries_for(C)
+
+
+def test_strict_purge_keeps_reinsert_after_delete(trt):
+    """Regression: delete-then-reinsert of the same reference inside one
+    transaction must leave the re-insert tuple alive — it is the only
+    record that R is (again) a parent of C."""
+    trt.record_delete(C, R, tid=4)   # txn re-points away ...
+    trt.record_insert(C, R, tid=4)   # ... and back again
+    trt.on_transaction_end(4, strict_2pl=True)
+    survivors = trt.entries_for(C)
+    assert {(e.parent, e.action) for e in survivors} == {(R, "I")}
+
+
+def test_non_strict_mode_keeps_delete_tuples(trt):
+    # §4.5: without strict 2PL another txn may have seen the deleted
+    # reference and reinsert it later, so delete tuples must stay.
+    trt.record_delete(C, R, tid=7)
+    assert trt.on_transaction_end(7, strict_2pl=False) == 0
+    assert trt.has_entries_for(C)
+
+
+def test_purge_only_affects_completing_txn(trt):
+    trt.record_delete(C, R, tid=1)
+    trt.record_delete(C, R2, tid=2)
+    trt.on_transaction_end(1, strict_2pl=True)
+    remaining = trt.entries_for(C)
+    assert {(e.parent, e.tid) for e in remaining} == {(R2, 2)}
+
+
+def test_insert_tuples_survive_their_txn_end(trt):
+    trt.record_insert(C, R, tid=3)
+    trt.on_transaction_end(3, strict_2pl=True)
+    assert trt.has_entries_for(C)  # drained only by Find_Exact_Parents
+
+
+def test_seq_numbers_distinguish_repeat_actions(trt):
+    trt.record_insert(C, R, tid=1)
+    trt.record_delete(C, R, tid=1)
+    trt.record_insert(C, R, tid=1)
+    # Three distinct tuples despite identical (child, parent, tid) pairs.
+    assert len(trt.entries_for(C)) == 3
+
+
+def test_stats_tracking(trt):
+    trt.record_insert(C, R, tid=1)
+    trt.record_delete(C, R2, tid=2)
+    assert trt.stats.recorded == 2
+    assert trt.stats.peak_size == 2
+    trt.on_transaction_end(2, strict_2pl=True)
+    assert trt.stats.purged == 1
+
+
+def test_entries_sorted_by_recording_order(trt):
+    trt.record_insert(C, R, tid=1)
+    trt.record_delete(C, R2, tid=2)
+    entries = trt.entries()
+    assert [e.parent for e in entries] == [R, R2]
+    assert entries[0].seq < entries[1].seq

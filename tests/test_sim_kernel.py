@@ -1,0 +1,321 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    Delay,
+    Event,
+    ProcessKilled,
+    SimulationDeadlock,
+    Simulator,
+    Wait,
+    WaitTimeout,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_delay_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(5.0)
+        return sim.now
+
+    assert sim.run_process(proc()) == 5.0
+    assert sim.now == 5.0
+
+
+def test_delays_compose():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(1.5)
+        yield Delay(2.5)
+        return sim.now
+
+    assert sim.run_process(proc()) == 4.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1.0)
+
+
+def test_return_value_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(0)
+        return 42
+
+    assert sim.run_process(proc()) == 42
+
+
+def test_yield_from_subgenerator_returns_value():
+    sim = Simulator()
+
+    def sub():
+        yield Delay(1)
+        return "inner"
+
+    def outer():
+        value = yield from sub()
+        return value + "-outer"
+
+    assert sim.run_process(outer()) == "inner-outer"
+
+
+def test_event_succeed_resumes_waiter_with_value():
+    sim = Simulator()
+    event = sim.event("gate")
+
+    def waiter():
+        value = yield Wait(event)
+        return value
+
+    def firer():
+        yield Delay(3)
+        event.succeed("payload")
+
+    proc = sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert proc.result == "payload"
+    assert sim.now == 3
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        with pytest.raises(RuntimeError, match="boom"):
+            yield Wait(event)
+        return "handled"
+
+    def firer():
+        yield Delay(1)
+        event.fail(RuntimeError("boom"))
+
+    proc = sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert proc.result == "handled"
+
+
+def test_wait_on_already_fired_event():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("early")
+
+    def waiter():
+        value = yield Wait(event)
+        return value
+
+    assert sim.run_process(waiter()) == "early"
+
+
+def test_event_fires_once_only():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError, match="twice"):
+        event.succeed(2)
+
+
+def test_wait_timeout_raises_waittimeout():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        try:
+            yield Wait(event, timeout=10.0)
+        except WaitTimeout:
+            return ("timeout", sim.now)
+        return "fired"
+
+    assert sim.run_process(waiter()) == ("timeout", 10.0)
+
+
+def test_wait_timeout_not_triggered_when_event_fires_first():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        value = yield Wait(event, timeout=100.0)
+        return value
+
+    def firer():
+        yield Delay(5)
+        event.succeed("beat-the-clock")
+
+    proc = sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert proc.result == "beat-the-clock"
+    assert sim.now == 100.0 or sim.now == 5.0  # timeout callback may linger
+
+
+def test_timed_out_waiter_removed_from_event():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        try:
+            yield Wait(event, timeout=1.0)
+        except WaitTimeout:
+            pass
+        return "done"
+
+    proc = sim.spawn(waiter())
+    sim.run()
+    assert proc.result == "done"
+    event.succeed("nobody-home")  # must not resurrect the dead waiter
+
+
+def test_join_process_via_done_event():
+    sim = Simulator()
+
+    def child():
+        yield Delay(7)
+        return "child-result"
+
+    def parent():
+        proc = sim.spawn(child())
+        value = yield Wait(proc.done)
+        return value
+
+    assert sim.run_process(parent()) == "child-result"
+
+
+def test_unhandled_process_exception_raised_by_run():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(1)
+        raise ValueError("unhandled")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_joined_process_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(1)
+        raise ValueError("inner-fail")
+
+    def parent():
+        proc = sim.spawn(bad())
+        with pytest.raises(ValueError, match="inner-fail"):
+            yield Wait(proc.done)
+        return "caught"
+
+    assert sim.run_process(parent()) == "caught"
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(100)
+        return "never"
+
+    handle = sim.spawn(proc())
+    sim.run(until=30)
+    assert sim.now == 30
+    assert handle.alive
+
+
+def test_kill_all_terminates_processes():
+    sim = Simulator()
+    cleanup = []
+
+    def proc():
+        try:
+            yield Delay(100)
+        finally:
+            cleanup.append("ran-finally")
+
+    handle = sim.spawn(proc())
+    sim.run(until=10)
+    sim.kill_all()
+    assert not handle.alive
+    assert cleanup == ["ran-finally"]
+
+
+def test_kill_raises_processkilled_inside_generator():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        try:
+            yield Delay(100)
+        except ProcessKilled:
+            seen.append("killed")
+            raise
+
+    handle = sim.spawn(proc())
+    sim.run(until=1)
+    handle.kill()
+    assert seen == ["killed"]
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    event = sim.event()  # nobody will ever fire this
+
+    def stuck():
+        yield Wait(event)
+
+    sim.spawn(stuck())
+    with pytest.raises(SimulationDeadlock):
+        sim.run()
+
+
+def test_yielding_garbage_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield "not-a-command"
+
+    sim.spawn(bad())
+    with pytest.raises(TypeError, match="unsupported command"):
+        sim.run()
+
+
+def test_events_at_same_time_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield Delay(5)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_many_processes_interleave_deterministically():
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def proc(tag, step):
+            for i in range(3):
+                yield Delay(step)
+                trace.append((tag, sim.now))
+
+        sim.spawn(proc("x", 2))
+        sim.spawn(proc("y", 3))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

@@ -1,0 +1,169 @@
+"""Unit tests for FCFS resources, the CPU meter and mutexes."""
+
+import pytest
+
+from repro.sim import CpuMeter, Delay, Mutex, Resource, Simulator
+
+
+def test_resource_grants_immediately_when_free():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="cpu")
+
+    def proc():
+        yield from cpu.use(5.0)
+        return sim.now
+
+    assert sim.run_process(proc()) == 5.0
+
+
+def test_resource_serializes_capacity_one():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    finish = {}
+
+    def proc(tag):
+        yield from cpu.use(10.0)
+        finish[tag] = sim.now
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    assert finish == {"a": 10.0, "b": 20.0}
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    order = []
+
+    def proc(tag):
+        yield from cpu.use(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    disk = Resource(sim, capacity=2)
+    finish = {}
+
+    def proc(tag):
+        yield from disk.use(10.0)
+        finish[tag] = sim.now
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert finish == {"a": 10.0, "b": 10.0, "c": 20.0}
+
+
+def test_release_without_acquire_is_an_error():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        cpu.release()
+
+
+def test_resource_released_on_exception_via_use():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+
+    def bad():
+        try:
+            gen = cpu.use(10.0)
+            yield from gen
+        finally:
+            pass
+
+    def killer():
+        yield Delay(5)
+        handle.kill()
+
+    handle = sim.spawn(bad())
+    sim.spawn(killer())
+    sim.run()
+    assert cpu.in_use == 0  # the finally inside use() released it
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+
+    def proc():
+        yield from cpu.use(30.0)
+        yield Delay(70.0)
+
+    sim.run_process(proc())
+    assert cpu.utilization() == pytest.approx(0.3)
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_cpu_meter_batches_charges():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    meter = CpuMeter(cpu, chunk_ms=10.0)
+
+    def proc():
+        for _ in range(25):
+            yield from meter.charge(1.0)
+        yield from meter.flush()
+        return sim.now
+
+    # 25 ms of work paid in 10+10+5 chunks.
+    assert sim.run_process(proc()) == 25.0
+    assert cpu.total_acquisitions == 3
+
+
+def test_cpu_meter_flush_empty_is_noop():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    meter = CpuMeter(cpu, chunk_ms=10.0)
+
+    def proc():
+        yield from meter.flush()
+        return sim.now
+
+    assert sim.run_process(proc()) == 0.0
+    assert cpu.total_acquisitions == 0
+
+
+def test_mutex_mutual_exclusion():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    trace = []
+
+    def proc(tag):
+        yield from mutex.acquire()
+        trace.append((tag, "in", sim.now))
+        yield Delay(5)
+        trace.append((tag, "out", sim.now))
+        mutex.release()
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    assert trace == [("a", "in", 0), ("a", "out", 5),
+                     ("b", "in", 5), ("b", "out", 10)]
+
+
+def test_mutex_locked_flag():
+    sim = Simulator()
+    mutex = Mutex(sim)
+
+    def proc():
+        assert not mutex.locked
+        yield from mutex.acquire()
+        assert mutex.locked
+        mutex.release()
+        assert not mutex.locked
+
+    sim.run_process(proc())

@@ -1,0 +1,200 @@
+"""Unit + integration tests for the buffer pool (disk-resident setting)."""
+
+import pytest
+
+from repro import (
+    CompactionPlan,
+    Database,
+    ExperimentConfig,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.sim import Resource, Simulator
+from repro.storage.buffer import BufferPool
+from repro.workload import WorkloadDriver
+
+
+@pytest.fixture
+def pool():
+    sim = Simulator()
+    disk = Resource(sim, capacity=1, name="data-disk")
+    return sim, BufferPool(sim, disk, capacity_pages=3,
+                           read_ms=10.0, write_ms=10.0)
+
+
+def drive(sim, gen):
+    return sim.run_process(gen)
+
+
+class TestBufferPoolUnit:
+    def test_miss_costs_a_read(self, pool):
+        sim, buf = pool
+
+        def proc():
+            yield from buf.fix((1, 0))
+            return sim.now
+
+        assert drive(sim, proc()) == 10.0
+        assert buf.stats.misses == 1
+
+    def test_hit_is_free(self, pool):
+        sim, buf = pool
+
+        def proc():
+            yield from buf.fix((1, 0))
+            t_after_miss = sim.now
+            yield from buf.fix((1, 0))
+            return sim.now - t_after_miss
+
+        assert drive(sim, proc()) == 0.0
+        assert buf.stats.hits == 1
+
+    def test_lru_eviction_order(self, pool):
+        sim, buf = pool
+
+        def proc():
+            for page in ((1, 0), (1, 1), (1, 2)):
+                yield from buf.fix(page)
+            yield from buf.fix((1, 0))       # make (1,0) most recent
+            yield from buf.fix((1, 3))       # evicts (1,1), the LRU
+            assert not buf.resident((1, 1))
+            assert buf.resident((1, 0))
+            assert buf.resident((1, 2))
+            assert buf.resident((1, 3))
+
+        drive(sim, proc())
+        assert buf.stats.evictions == 1
+
+    def test_dirty_eviction_pays_writeback(self, pool):
+        sim, buf = pool
+
+        def proc():
+            yield from buf.fix((1, 0), dirty=True)
+            for page in ((1, 1), (1, 2), (1, 3)):
+                yield from buf.fix(page)
+            return sim.now
+
+        # 4 reads + 1 write-back of the dirty victim.
+        assert drive(sim, proc()) == 50.0
+        assert buf.stats.writebacks == 1
+
+    def test_clean_eviction_is_read_only(self, pool):
+        sim, buf = pool
+
+        def proc():
+            for page in ((1, 0), (1, 1), (1, 2), (1, 3)):
+                yield from buf.fix(page)
+            return sim.now
+
+        assert drive(sim, proc()) == 40.0
+        assert buf.stats.writebacks == 0
+
+    def test_dirtiness_is_sticky_until_writeback(self, pool):
+        sim, buf = pool
+
+        def proc():
+            yield from buf.fix((1, 0), dirty=True)
+            yield from buf.fix((1, 0))  # clean re-fix must not launder it
+            assert buf.is_dirty((1, 0))
+
+        drive(sim, proc())
+
+    def test_flush_all(self, pool):
+        sim, buf = pool
+
+        def proc():
+            yield from buf.fix((1, 0), dirty=True)
+            yield from buf.fix((1, 1), dirty=True)
+            yield from buf.fix((1, 2))
+            written = yield from buf.flush_all()
+            return written
+
+        assert drive(sim, proc()) == 2
+        assert not buf.is_dirty((1, 0))
+
+    def test_discard(self, pool):
+        sim, buf = pool
+
+        def proc():
+            yield from buf.fix((1, 0), dirty=True)
+            buf.discard((1, 0))
+            assert not buf.resident((1, 0))
+
+        drive(sim, proc())
+
+    def test_concurrent_fix_of_same_page(self, pool):
+        sim, buf = pool
+        times = []
+
+        def proc(tag):
+            yield from buf.fix((1, 0))
+            times.append(sim.now)
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run()
+        # Both complete; the page is resident exactly once.
+        assert len(buf._frames) == 1
+
+    def test_capacity_validated(self):
+        sim = Simulator()
+        disk = Resource(sim, capacity=1)
+        with pytest.raises(ValueError):
+            BufferPool(sim, disk, capacity_pages=0, read_ms=1, write_ms=1)
+
+
+class TestDiskResidentEngine:
+    def test_memory_resident_engine_has_no_buffer(self):
+        db = Database()
+        assert db.engine.buffer is None
+
+    def test_disk_mode_counts_faults(self):
+        system = SystemConfig(disk_resident=True, buffer_pool_pages=8)
+        db, layout = Database.with_workload(
+            WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                           mpl=2, seed=7),
+            system=system)
+        driver = WorkloadDriver(db.engine, layout,
+                                ExperimentConfig(workload=layout.config,
+                                                 system=system))
+        metrics = driver.run(horizon_ms=3000.0)
+        assert db.engine.buffer.stats.misses > 0
+        assert db.engine.buffer.stats.hits > 0
+        assert metrics.completed > 0
+
+    def test_reorg_correct_in_disk_mode(self):
+        system = SystemConfig(disk_resident=True, buffer_pool_pages=6)
+        db, layout = Database.with_workload(
+            WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                           mpl=2, seed=7),
+            system=system)
+        stats = db.reorganize(1, plan=CompactionPlan())
+        assert stats.objects_migrated == 170
+        assert db.verify_integrity().ok
+        assert db.engine.buffer.stats.misses > 0
+
+    def test_larger_buffer_fewer_faults(self):
+        def misses(pages):
+            system = SystemConfig(disk_resident=True,
+                                  buffer_pool_pages=pages)
+            db, layout = Database.with_workload(
+                WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                               mpl=2, seed=7),
+                system=system)
+            driver = WorkloadDriver(db.engine, layout,
+                                    ExperimentConfig(workload=layout.config,
+                                                     system=system))
+            driver.run(horizon_ms=5000.0)
+            return db.engine.buffer.stats.misses
+
+        assert misses(64) < misses(4)
+
+    def test_disk_mode_survives_crash_recovery(self):
+        system = SystemConfig(disk_resident=True, buffer_pool_pages=8)
+        db, layout = Database.with_workload(
+            WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                           mpl=2, seed=7),
+            system=system)
+        recovered = Database.recover(db.crash())
+        assert recovered.engine.buffer is not None
+        assert recovered.verify_integrity().ok

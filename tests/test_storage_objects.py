@@ -1,0 +1,116 @@
+"""Unit tests for the on-page object format."""
+
+import pytest
+
+from repro.storage import (
+    ObjectFormatError,
+    ObjectImage,
+    Oid,
+    RefSlotError,
+    payload_offset,
+    ref_slot_offset,
+)
+
+
+def test_encode_decode_roundtrip():
+    image = ObjectImage.new(4, payload=b"hello",
+                            refs=[Oid(1, 2, 3), Oid(4, 5, 6)])
+    decoded = ObjectImage.decode(image.encode())
+    assert decoded == image
+    assert decoded.get_ref(0) == Oid(1, 2, 3)
+    assert decoded.get_ref(2) is None
+    assert decoded.payload == b"hello"
+
+
+def test_empty_object():
+    image = ObjectImage.new(0)
+    decoded = ObjectImage.decode(image.encode())
+    assert decoded.ref_capacity == 0
+    assert decoded.payload == b""
+    assert decoded.children() == []
+
+
+def test_size_matches_encoding():
+    image = ObjectImage.new(6, payload=b"x" * 48)
+    assert image.size == len(image.encode())
+    assert image.size == payload_offset(6) + 48
+
+
+def test_too_many_refs_rejected():
+    with pytest.raises(RefSlotError):
+        ObjectImage.new(1, refs=[Oid(0, 0, 0), Oid(0, 0, 1)])
+
+
+def test_decode_garbage_rejected():
+    with pytest.raises(ObjectFormatError):
+        ObjectImage.decode(b"\x01")
+    with pytest.raises(ObjectFormatError):
+        ObjectImage.decode(b"\x02\x00\x00\x00" + b"\x00" * 3)  # truncated
+
+
+def test_set_and_clear_ref():
+    image = ObjectImage.new(3)
+    image.set_ref(1, Oid(9, 9, 9))
+    assert image.get_ref(1) == Oid(9, 9, 9)
+    image.set_ref(1, None)
+    assert image.get_ref(1) is None
+
+
+def test_ref_index_bounds():
+    image = ObjectImage.new(2)
+    with pytest.raises(RefSlotError):
+        image.get_ref(2)
+    with pytest.raises(RefSlotError):
+        image.set_ref(-1, None)
+
+
+def test_refs_iterates_nonnull_slots_in_order():
+    image = ObjectImage.new(4)
+    image.set_ref(3, Oid(1, 1, 1))
+    image.set_ref(1, Oid(2, 2, 2))
+    assert list(image.refs()) == [(1, Oid(2, 2, 2)), (3, Oid(1, 1, 1))]
+
+
+def test_children_can_repeat():
+    dup = Oid(7, 7, 7)
+    image = ObjectImage.new(3, refs=[dup, dup])
+    assert image.children() == [dup, dup]
+    assert image.slots_referencing(dup) == [0, 1]
+
+
+def test_free_slot_finds_first_empty():
+    image = ObjectImage.new(3, refs=[Oid(1, 1, 1)])
+    assert image.free_slot() == 1
+
+
+def test_free_slot_full_raises():
+    image = ObjectImage.new(1, refs=[Oid(1, 1, 1)])
+    with pytest.raises(RefSlotError):
+        image.free_slot()
+
+
+def test_references_predicate():
+    image = ObjectImage.new(2, refs=[Oid(1, 1, 1)])
+    assert image.references(Oid(1, 1, 1))
+    assert not image.references(Oid(2, 2, 2))
+
+
+def test_copy_is_independent():
+    image = ObjectImage.new(2, payload=b"a", refs=[Oid(1, 1, 1)])
+    dup = image.copy()
+    dup.set_ref(0, None)
+    dup.payload = b"b"
+    assert image.get_ref(0) == Oid(1, 1, 1)
+    assert image.payload == b"a"
+
+
+def test_ref_slot_offsets_are_contiguous():
+    assert ref_slot_offset(0) == 4
+    assert ref_slot_offset(1) == 12
+    assert payload_offset(2) == 20
+
+
+def test_binary_payload_roundtrip():
+    payload = bytes(range(256))
+    image = ObjectImage.new(1, payload=payload)
+    assert ObjectImage.decode(image.encode()).payload == payload

@@ -1,0 +1,175 @@
+"""Unit tests for slotted pages."""
+
+import pytest
+
+from repro.storage import NoSuchObjectError, Page, PageFullError
+from repro.storage.errors import StorageError
+
+
+def test_insert_and_read():
+    page = Page(256)
+    slot = page.insert(b"hello")
+    assert page.read(slot) == b"hello"
+
+
+def test_slots_are_stable_across_other_deletes():
+    page = Page(256)
+    a = page.insert(b"aaaa")
+    b = page.insert(b"bbbb")
+    page.delete(a)
+    assert page.read(b) == b"bbbb"
+
+
+def test_deleted_slot_is_reused():
+    page = Page(256)
+    a = page.insert(b"aaaa")
+    page.insert(b"bbbb")
+    page.delete(a)
+    c = page.insert(b"cccc")
+    assert c == a
+    assert page.read(c) == b"cccc"
+
+
+def test_read_free_slot_raises():
+    page = Page(256)
+    slot = page.insert(b"x")
+    page.delete(slot)
+    with pytest.raises(NoSuchObjectError):
+        page.read(slot)
+    with pytest.raises(NoSuchObjectError):
+        page.read(99)
+
+
+def test_page_full():
+    page = Page(64)
+    page.insert(b"x" * 30)
+    with pytest.raises(PageFullError):
+        page.insert(b"y" * 30)
+
+
+def test_fill_with_many_small_records():
+    page = Page(4096)
+    slots = [page.insert(bytes([i]) * 10) for i in range(100)]
+    for i, slot in enumerate(slots):
+        assert page.read(slot) == bytes([i]) * 10
+
+
+def test_in_page_compaction_preserves_records():
+    page = Page(256)
+    slots = [page.insert(bytes([i]) * 20) for i in range(8)]
+    # Free alternating slots, then insert something that only fits after
+    # squeezing the holes out.
+    for slot in slots[::2]:
+        page.delete(slot)
+    big = page.insert(b"z" * 60)
+    assert page.read(big) == b"z" * 60
+    for i, slot in enumerate(slots):
+        if i % 2 == 1:
+            assert page.read(slot) == bytes([i]) * 20
+
+
+def test_update_same_size_in_place():
+    page = Page(256)
+    slot = page.insert(b"aaaa")
+    page.update(slot, b"bbbb")
+    assert page.read(slot) == b"bbbb"
+
+
+def test_update_grow_within_page():
+    page = Page(256)
+    slot = page.insert(b"small")
+    page.update(slot, b"much-bigger-record")
+    assert page.read(slot) == b"much-bigger-record"
+
+
+def test_update_grow_overflow_leaves_page_intact():
+    page = Page(64)
+    slot = page.insert(b"x" * 20)
+    with pytest.raises(PageFullError):
+        page.update(slot, b"y" * 60)
+    assert page.read(slot) == b"x" * 20  # rolled back
+
+
+def test_partial_read_write_bytes():
+    page = Page(256)
+    slot = page.insert(b"abcdefgh")
+    page.write_bytes(slot, 2, b"XY")
+    assert page.read(slot) == b"abXYefgh"
+    assert page.read_bytes(slot, 2, 2) == b"XY"
+
+
+def test_partial_write_out_of_bounds():
+    page = Page(256)
+    slot = page.insert(b"abcd")
+    with pytest.raises(StorageError):
+        page.write_bytes(slot, 3, b"XY")
+    with pytest.raises(StorageError):
+        page.read_bytes(slot, -1, 2)
+
+
+def test_insert_at_specific_slot():
+    page = Page(256)
+    page.insert_at(5, b"redo-record")
+    assert page.read(5) == b"redo-record"
+    assert not page.has_slot(3)
+    # slot 3 remains usable
+    assert page.insert(b"next") in (0, 1, 2, 3, 4)
+
+
+def test_insert_at_occupied_slot_raises():
+    page = Page(256)
+    slot = page.insert(b"x")
+    with pytest.raises(StorageError):
+        page.insert_at(slot, b"y")
+
+
+def test_free_space_decreases_and_recovers():
+    page = Page(256)
+    initial = page.free_space
+    slot = page.insert(b"x" * 50)
+    assert page.free_space < initial - 49
+    page.delete(slot)
+    # Slot entry overhead remains, record bytes come back.
+    assert page.free_space >= initial - 10
+
+
+def test_is_empty_and_live_counts():
+    page = Page(256)
+    assert page.is_empty
+    a = page.insert(b"x")
+    b = page.insert(b"y")
+    assert page.live_slot_count == 2
+    page.delete(a)
+    page.delete(b)
+    assert page.is_empty
+
+
+def test_snapshot_restore_roundtrip():
+    page = Page(256)
+    slots = [page.insert(bytes([i]) * 12) for i in range(5)]
+    page.delete(slots[2])
+    page.page_lsn = 77
+    clone = Page.restore(page.snapshot())
+    assert clone.page_lsn == 77
+    for i, slot in enumerate(slots):
+        if i == 2:
+            assert not clone.has_slot(slot)
+        else:
+            assert clone.read(slot) == bytes([i]) * 12
+    # The clone is independent.
+    clone.delete(slots[0])
+    assert page.read(slots[0]) == b"\x00" * 12 or page.has_slot(slots[0])
+
+
+def test_tiny_page_rejected():
+    with pytest.raises(ValueError):
+        Page(8)
+
+
+def test_slots_iterator():
+    page = Page(256)
+    a = page.insert(b"a")
+    b = page.insert(b"b")
+    c = page.insert(b"c")
+    page.delete(b)
+    assert list(page.slots()) == [a, c]

@@ -1,0 +1,138 @@
+"""Unit tests for the object store facade."""
+
+import pytest
+
+from repro.storage import (
+    NoSuchObjectError,
+    NoSuchPartitionError,
+    ObjectImage,
+    ObjectStore,
+    Oid,
+    RefSlotError,
+)
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore(page_size=512)
+    s.create_partition(1)
+    s.create_partition(2)
+    return s
+
+
+def obj(refs=(), payload=b"data", cap=4):
+    return ObjectImage.new(cap, payload=payload, refs=refs)
+
+
+def test_allocate_and_read_object(store):
+    oid = store.allocate_object(1, obj(payload=b"hello"))
+    assert store.read_object(oid).payload == b"hello"
+
+
+def test_partition_management(store):
+    assert store.partition_ids() == [1, 2]
+    assert store.has_partition(1)
+    assert not store.has_partition(9)
+    with pytest.raises(ValueError):
+        store.create_partition(1)
+    with pytest.raises(NoSuchPartitionError):
+        store.partition(9)
+    store.drop_partition(2)
+    assert store.partition_ids() == [1]
+
+
+def test_set_get_ref_in_place(store):
+    child = store.allocate_object(1, obj())
+    parent = store.allocate_object(1, obj())
+    store.set_ref(parent, 2, child)
+    assert store.get_ref(parent, 2) == child
+    assert store.get_ref(parent, 0) is None
+    assert store.children_of(parent) == [child]
+    store.set_ref(parent, 2, None)
+    assert store.children_of(parent) == []
+
+
+def test_ref_slot_bounds_checked(store):
+    oid = store.allocate_object(1, obj(cap=2))
+    with pytest.raises(RefSlotError):
+        store.set_ref(oid, 2, oid)
+    with pytest.raises(RefSlotError):
+        store.get_ref(oid, 5)
+
+
+def test_payload_partial_write(store):
+    oid = store.allocate_object(1, obj(payload=b"abcdefgh"))
+    store.set_payload_bytes(oid, 2, b"XY")
+    assert store.get_payload(oid) == b"abXYefgh"
+
+
+def test_payload_write_out_of_bounds(store):
+    oid = store.allocate_object(1, obj(payload=b"abcd"))
+    with pytest.raises(NoSuchObjectError):
+        store.set_payload_bytes(oid, 3, b"XY")
+
+
+def test_ref_writes_do_not_disturb_payload(store):
+    child = store.allocate_object(1, obj())
+    oid = store.allocate_object(1, obj(payload=b"precious"))
+    store.set_ref(oid, 0, child)
+    assert store.get_payload(oid) == b"precious"
+    store.set_payload_bytes(oid, 0, b"X")
+    assert store.get_ref(oid, 0) == child
+
+
+def test_allocate_object_at_exact_address(store):
+    target = Oid(1, 7, 3)
+    store.allocate_object_at(target, obj(payload=b"redo"))
+    assert store.read_object(target).payload == b"redo"
+
+
+def test_free_and_exists(store):
+    oid = store.allocate_object(1, obj())
+    assert store.exists(oid)
+    store.free_object(oid)
+    assert not store.exists(oid)
+    assert not store.exists(Oid(9, 0, 0))
+
+
+def test_replace_object_in_place(store):
+    oid = store.allocate_object(1, obj(payload=b"old"))
+    store.replace_object(oid, obj(payload=b"new"))
+    assert store.read_object(oid).payload == b"new"
+
+
+def test_live_oids_across_partitions(store):
+    a = store.allocate_object(1, obj())
+    b = store.allocate_object(2, obj())
+    assert set(store.all_live_oids()) == {a, b}
+    assert list(store.live_oids(1)) == [a]
+
+
+def test_ref_capacity(store):
+    oid = store.allocate_object(1, obj(cap=6))
+    assert store.ref_capacity(oid) == 6
+
+
+def test_page_lsn_via_store(store):
+    oid = store.allocate_object(1, obj())
+    store.set_page_lsn(oid, 10)
+    assert store.page_lsn(oid) == 10
+    assert store.page_lsn(Oid(9, 0, 0)) == 0
+
+
+def test_snapshot_restore_preserves_everything(store):
+    child = store.allocate_object(2, obj(payload=b"child"))
+    parent = store.allocate_object(1, obj(refs=[child], payload=b"parent"))
+    clone = ObjectStore.restore(store.snapshot())
+    assert clone.read_object(parent).children() == [child]
+    assert clone.read_object(child).payload == b"child"
+    # Independence: freeing in the clone leaves the original intact.
+    clone.free_object(child)
+    assert store.exists(child)
+
+
+def test_cross_partition_references(store):
+    child = store.allocate_object(2, obj())
+    parent = store.allocate_object(1, obj(refs=[child]))
+    assert store.read_object(parent).children() == [child]
+    assert store.children_of(parent)[0].partition == 2

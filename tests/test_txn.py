@@ -1,0 +1,311 @@
+"""Unit tests for transactions: locking, WAL ordering, rollback, the
+reference protocol, strict-2PL vs short-lock semantics."""
+
+import pytest
+
+from repro import (
+    LockMode,
+    LockTimeoutError,
+    ReferenceProtocolError,
+    StorageEngine,
+    SystemConfig,
+    TransactionStateError,
+)
+from repro.sim import Delay
+from repro.txn import TxnStatus
+from repro.wal.records import RefUpdateRecord
+from tests.conftest import committed, make_object, run
+
+
+def test_create_read_commit(engine):
+    def body(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"v"))
+        image = yield from txn.read(oid)
+        return oid, image.payload
+    oid, payload = committed(engine, body)
+    assert payload == b"v"
+    assert engine.store.exists(oid)
+
+
+def test_locks_released_at_commit(engine):
+    def body(txn):
+        oid = yield from txn.create_object(1, make_object())
+        yield from txn.read(oid)
+        assert engine.locks.lock_count(txn.tid) >= 1
+        return txn
+    txn = committed(engine, body)
+    assert engine.locks.lock_count(txn.tid) == 0
+    assert txn.status is TxnStatus.COMMITTED
+
+
+def test_strict_2pl_read_lock_held_until_commit(engine):
+    def setup(txn):
+        oid = yield from txn.create_object(1, make_object())
+        return oid
+    oid = committed(engine, setup)
+
+    def reader():
+        txn = engine.txns.begin()
+        yield from txn.read(oid)
+        assert engine.locks.holds(txn.tid, oid, LockMode.S)
+        yield Delay(50)
+        yield from txn.commit()
+
+    run(engine, reader())
+
+
+def test_short_lock_mode_releases_s_immediately(engine):
+    def setup(txn):
+        oid = yield from txn.create_object(1, make_object())
+        return oid
+    oid = committed(engine, setup)
+
+    def reader():
+        txn = engine.txns.begin(strict=False)
+        yield from txn.read(oid)
+        assert not engine.locks.holds(txn.tid, oid)
+        # §4.1: the lock manager still remembers this locker.
+        assert txn.tid in engine.locks.ever_lockers(oid)
+        yield from txn.commit()
+        assert engine.locks.ever_lockers(oid) == set()
+
+    run(engine, reader())
+
+
+def test_short_lock_mode_keeps_x_locks(engine):
+    def setup(txn):
+        oid = yield from txn.create_object(
+            1, make_object(payload=b"12345678"))
+        return oid
+    oid = committed(engine, setup)
+
+    def writer():
+        txn = engine.txns.begin(strict=False)
+        yield from txn.read(oid, for_update=True)
+        yield from txn.write_payload(oid, 0, b"X")
+        assert engine.locks.holds(txn.tid, oid, LockMode.X)
+        yield from txn.commit()
+
+    run(engine, writer())
+
+
+def test_abort_undoes_everything(engine):
+    def setup(txn):
+        oid = yield from txn.create_object(
+            1, make_object(payload=b"original"))
+        return oid
+    oid = committed(engine, setup)
+
+    def doomed():
+        txn = engine.txns.begin()
+        created = yield from txn.create_object(1, make_object())
+        yield from txn.read(oid, for_update=True)
+        yield from txn.write_payload(oid, 0, b"CLOBBER!")
+        yield from txn.abort()
+        return created
+    created = run(engine, doomed())
+
+    assert engine.store.get_payload(oid) == b"original"
+    assert not engine.store.exists(created)
+
+
+def test_abort_restores_deleted_object_and_refs(engine):
+    def setup(txn):
+        child = yield from txn.create_object(2, make_object(payload=b"c"))
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    def doomed():
+        txn = engine.txns.begin()
+        yield from txn.read(parent)
+        yield from txn.delete_ref(parent, child)
+        yield from txn.delete_object(child)
+        yield from txn.abort()
+    run(engine, doomed())
+
+    assert engine.store.exists(child)
+    assert engine.store.read_object(parent).children() == [child]
+    assert engine.verify_integrity().ok
+
+
+def test_insert_and_delete_ref(engine):
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object())
+        slot = yield from txn.insert_ref(parent, child)
+        assert engine.store.get_ref(parent, slot) == child
+        yield from txn.delete_ref(parent, child)
+        assert engine.store.get_ref(parent, slot) is None
+        return parent
+    committed(engine, body)
+
+
+def test_insert_ref_into_occupied_slot_rejected(engine):
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        with pytest.raises(ReferenceProtocolError):
+            yield from txn.insert_ref(parent, child, slot=0)
+        yield from txn.abort()
+    run(engine, body(None) if False else _wrap(engine, body))
+
+
+def _wrap(engine, body):
+    def gen():
+        txn = engine.txns.begin()
+        yield from body(txn)
+    return gen()
+
+
+def test_delete_missing_ref_rejected(engine):
+    def body(txn):
+        a = yield from txn.create_object(1, make_object())
+        b = yield from txn.create_object(1, make_object())
+        with pytest.raises(ReferenceProtocolError):
+            yield from txn.delete_ref(a, b)
+        yield from txn.abort()
+    run(engine, _wrap(engine, body))
+
+
+def test_reference_protocol_enforced(engine):
+    """A transaction may not use a reference it never legitimately got."""
+    def setup(txn):
+        hidden = yield from txn.create_object(2, make_object())
+        holder = yield from txn.create_object(1, make_object())
+        return hidden, holder
+    hidden, holder = committed(engine, setup)
+
+    def cheater():
+        txn = engine.txns.begin()
+        yield from txn.read(holder)
+        with pytest.raises(ReferenceProtocolError):
+            # txn never read a parent of `hidden`.
+            yield from txn.insert_ref(holder, hidden)
+        yield from txn.abort()
+    run(engine, cheater())
+
+
+def test_reference_protocol_allows_read_sourced_refs(engine):
+    def setup(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        other = yield from txn.create_object(1, make_object())
+        return parent, child, other
+    parent, child, other = committed(engine, setup)
+
+    def legit():
+        txn = engine.txns.begin()
+        yield from txn.read(parent)     # copies child's ref to local memory
+        yield from txn.insert_ref(other, child)
+        yield from txn.commit()
+    run(engine, legit())
+    assert engine.store.read_object(other).children() == [child]
+
+
+def test_wal_order_undo_before_update(engine):
+    """The REF_UPDATE record must be appended before the slot changes."""
+    order = []
+    original_append = engine.log.append
+
+    def spying_append(record):
+        if isinstance(record, RefUpdateRecord):
+            order.append(("log", engine.store.get_ref(record.parent,
+                                                      record.slot)))
+        return original_append(record)
+    engine.log.append = spying_append
+
+    def body(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        yield from txn.delete_ref(parent, child)
+        return child
+    child = committed(engine, body)
+    # At append time the reference was still physically present.
+    assert order[-1] == ("log", child)
+
+
+def test_commit_flushes_log(engine):
+    def body(txn):
+        yield from txn.create_object(1, make_object())
+        return txn
+    txn = committed(engine, body)
+    # Everything up to and including the COMMIT record is durable; only
+    # the END marker (appended at finish) may trail unflushed.
+    commit_lsn = next(r.lsn for r in engine.log.records()
+                      if r.kind == 2 and r.tid == txn.tid)
+    assert engine.log.flushed_lsn >= commit_lsn
+    assert engine.log.flush_count >= 1
+
+
+def test_operations_on_finished_txn_rejected(engine):
+    def body():
+        txn = engine.txns.begin()
+        yield from txn.commit()
+        with pytest.raises(TransactionStateError):
+            yield from txn.create_object(1, make_object())
+        with pytest.raises(TransactionStateError):
+            yield from txn.commit()
+    run(engine, body())
+
+
+def test_lock_conflict_timeout_between_writers(engine):
+    def setup(txn):
+        oid = yield from txn.create_object(
+            1, make_object(payload=b"12345678"))
+        return oid
+    oid = committed(engine, setup)
+    outcome = []
+
+    def slow_writer():
+        txn = engine.txns.begin()
+        yield from txn.read(oid, for_update=True)
+        yield Delay(5000)
+        yield from txn.commit()
+
+    def victim():
+        yield Delay(1)
+        txn = engine.txns.begin()
+        try:
+            yield from txn.read(oid, for_update=True)
+        except LockTimeoutError:
+            outcome.append("timeout")
+            yield from txn.abort()
+
+    engine.sim.spawn(slow_writer())
+    engine.sim.spawn(victim())
+    engine.sim.run()
+    assert outcome == ["timeout"]
+
+
+def test_local_refs_track_read_children(engine):
+    def setup(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    def reader():
+        txn = engine.txns.begin()
+        yield from txn.read(parent)
+        assert child in txn.local_refs
+        assert parent in txn.local_refs
+        yield from txn.commit()
+    run(engine, reader())
+
+
+def test_update_ref_records_old_child_in_local_memory(engine):
+    """Fig. 2 model: after cutting a ref the txn still 'remembers' it."""
+    def setup(txn):
+        child = yield from txn.create_object(2, make_object())
+        parent = yield from txn.create_object(1, make_object(refs=[child]))
+        return parent, child
+    parent, child = committed(engine, setup)
+
+    def cutter():
+        txn = engine.txns.begin()
+        yield from txn.read(parent)
+        yield from txn.update_ref(parent, 0, None)
+        assert child in txn.local_refs
+        yield from txn.commit()
+    run(engine, cutter())

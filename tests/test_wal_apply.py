@@ -1,0 +1,122 @@
+"""Unit tests for physical record apply/invert (the redo/undo core)."""
+
+import pytest
+
+from repro.storage import ObjectImage, ObjectStore, Oid
+from repro.wal import (
+    BeginRecord,
+    ClrRecord,
+    ObjCreateRecord,
+    ObjDeleteRecord,
+    PayloadUpdateRecord,
+    RefUpdateRecord,
+    apply_record,
+    invert_record,
+)
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore(page_size=512)
+    s.create_partition(1)
+    return s
+
+
+def test_apply_create_and_inverse(store):
+    oid = Oid(1, 0, 0)
+    image = ObjectImage.new(2, payload=b"x")
+    record = ObjCreateRecord(1, 0, oid=oid, image=image.encode())
+    apply_record(store, record)
+    assert store.read_object(oid).payload == b"x"
+    apply_record(store, invert_record(record))
+    assert not store.exists(oid)
+
+
+def test_apply_delete_and_inverse(store):
+    image = ObjectImage.new(1, payload=b"victim")
+    oid = store.allocate_object(1, image)
+    record = ObjDeleteRecord(1, 0, oid=oid, before_image=image.encode())
+    apply_record(store, record)
+    assert not store.exists(oid)
+    apply_record(store, invert_record(record))
+    assert store.read_object(oid).payload == b"victim"
+
+
+def test_apply_payload_update_and_inverse(store):
+    oid = store.allocate_object(1, ObjectImage.new(1, payload=b"abcdef"))
+    record = PayloadUpdateRecord(1, 0, oid=oid, offset=2,
+                                 before=b"cd", after=b"XY")
+    apply_record(store, record)
+    assert store.get_payload(oid) == b"abXYef"
+    apply_record(store, invert_record(record))
+    assert store.get_payload(oid) == b"abcdef"
+
+
+def test_apply_ref_update_and_inverse(store):
+    child = store.allocate_object(1, ObjectImage.new(1))
+    parent = store.allocate_object(1, ObjectImage.new(2))
+    record = RefUpdateRecord(1, 0, parent=parent, slot=0,
+                             old_child=None, new_child=child)
+    apply_record(store, record)
+    assert store.get_ref(parent, 0) == child
+    inverse = invert_record(record)
+    assert (inverse.old_child, inverse.new_child) == (child, None)
+    apply_record(store, inverse)
+    assert store.get_ref(parent, 0) is None
+
+
+def test_lsn_gated_redo_is_idempotent(store):
+    oid = store.allocate_object(1, ObjectImage.new(1, payload=b"0000"))
+    record = PayloadUpdateRecord(1, 0, oid=oid, offset=0,
+                                 before=b"0000", after=b"1111")
+    apply_record(store, record, lsn=5)
+    assert store.page_lsn(oid) == 5
+    # Second application at the same LSN is skipped (page already covers
+    # it) — simulate by first reverting the bytes behind the LSN's back.
+    store.set_payload_bytes(oid, 0, b"0000")
+    apply_record(store, record, lsn=5)
+    assert store.get_payload(oid) == b"0000"
+    # A later LSN applies.
+    apply_record(store, record, lsn=6)
+    assert store.get_payload(oid) == b"1111"
+
+
+def test_clr_applies_inner_action(store):
+    oid = store.allocate_object(1, ObjectImage.new(1, payload=b"abcd"))
+    inner = PayloadUpdateRecord(1, 0, oid=oid, offset=0,
+                                before=b"abcd", after=b"WXYZ")
+    clr = ClrRecord(1, 0, undo_next_lsn=0, undone_lsn=3,
+                    action=inner.encode())
+    apply_record(store, clr, lsn=9)
+    assert store.get_payload(oid) == b"WXYZ"
+    assert store.page_lsn(oid) == 9
+
+
+def test_apply_delete_of_missing_object_is_tolerated(store):
+    record = ObjDeleteRecord(1, 0, oid=Oid(1, 7, 7), before_image=b"")
+    apply_record(store, record)  # redo after the page was never rebuilt
+
+
+def test_non_physical_records_rejected(store):
+    with pytest.raises(TypeError):
+        apply_record(store, BeginRecord(1, 0))
+    with pytest.raises(TypeError):
+        invert_record(BeginRecord(1, 0))
+
+
+def test_create_redo_builds_missing_partition():
+    store = ObjectStore(page_size=512)
+    record = ObjCreateRecord(1, 0, oid=Oid(4, 2, 0),
+                             image=ObjectImage.new(1).encode())
+    apply_record(store, record)
+    assert store.exists(Oid(4, 2, 0))
+
+
+def test_double_inversion_is_identity(store):
+    child = store.allocate_object(1, ObjectImage.new(1))
+    parent = store.allocate_object(1, ObjectImage.new(2, refs=[child]))
+    record = RefUpdateRecord(7, 0, parent=parent, slot=0,
+                             old_child=child, new_child=None)
+    twice = invert_record(invert_record(record))
+    assert (twice.parent, twice.slot, twice.old_child, twice.new_child) \
+        == (record.parent, record.slot, record.old_child, record.new_child)

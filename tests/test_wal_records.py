@@ -1,0 +1,129 @@
+"""Unit + property tests for log-record serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Oid
+from repro.wal import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    ClrRecord,
+    CommitRecord,
+    EndRecord,
+    FLAG_SYSTEM_TXN,
+    ObjCreateRecord,
+    ObjDeleteRecord,
+    PayloadUpdateRecord,
+    RefUpdateRecord,
+    decode_record,
+)
+
+oids = st.builds(Oid,
+                 st.integers(min_value=0, max_value=100),
+                 st.integers(min_value=0, max_value=1000),
+                 st.integers(min_value=0, max_value=100))
+maybe_oids = st.one_of(st.none(), oids)
+tids = st.integers(min_value=0, max_value=2**32)
+lsns = st.integers(min_value=0, max_value=2**40)
+payloads = st.binary(max_size=200)
+
+
+def roundtrip(record):
+    return decode_record(record.encode(), lsn=9)
+
+
+def test_begin_roundtrip_and_flags():
+    rec = roundtrip(BeginRecord(5, 0, flags=FLAG_SYSTEM_TXN))
+    assert isinstance(rec, BeginRecord)
+    assert rec.tid == 5
+    assert rec.is_system
+    assert not roundtrip(BeginRecord(5, 0)).is_system
+    assert rec.lsn == 9
+
+
+def test_control_records_roundtrip():
+    for cls in (CommitRecord, AbortRecord, EndRecord):
+        rec = roundtrip(cls(7, 123))
+        assert isinstance(rec, cls)
+        assert (rec.tid, rec.prev_lsn) == (7, 123)
+
+
+def test_obj_create_roundtrip():
+    rec = roundtrip(ObjCreateRecord(1, 2, oid=Oid(3, 4, 5), image=b"bytes"))
+    assert rec.oid == Oid(3, 4, 5)
+    assert rec.image == b"bytes"
+
+
+def test_obj_delete_roundtrip():
+    rec = roundtrip(ObjDeleteRecord(1, 2, oid=Oid(3, 4, 5),
+                                    before_image=b"old"))
+    assert rec.before_image == b"old"
+
+
+def test_payload_update_roundtrip():
+    rec = roundtrip(PayloadUpdateRecord(1, 2, oid=Oid(1, 1, 1), offset=17,
+                                        before=b"aa", after=b"bb"))
+    assert (rec.offset, rec.before, rec.after) == (17, b"aa", b"bb")
+
+
+def test_ref_update_roundtrip_all_null_combinations():
+    for old, new in ((None, Oid(1, 1, 1)), (Oid(1, 1, 1), None),
+                     (Oid(1, 1, 1), Oid(2, 2, 2))):
+        rec = roundtrip(RefUpdateRecord(1, 2, parent=Oid(9, 9, 9), slot=3,
+                                        old_child=old, new_child=new))
+        assert (rec.old_child, rec.new_child, rec.slot) == (old, new, 3)
+
+
+def test_clr_roundtrip_with_nested_action():
+    inner = RefUpdateRecord(4, 0, parent=Oid(1, 2, 3), slot=1,
+                            old_child=Oid(5, 5, 5), new_child=None)
+    rec = roundtrip(ClrRecord(4, 10, undo_next_lsn=8, undone_lsn=9,
+                              action=inner.encode()))
+    assert rec.undo_next_lsn == 8
+    assert rec.undone_lsn == 9
+    nested = rec.decode_action()
+    assert isinstance(nested, RefUpdateRecord)
+    assert nested.old_child == Oid(5, 5, 5)
+
+
+def test_checkpoint_roundtrip():
+    rec = roundtrip(CheckpointRecord(0, 0, snapshot_id=3,
+                                     active_txns=((4, 100), (7, 200))))
+    assert rec.snapshot_id == 3
+    assert rec.active_txn_table() == {4: 100, 7: 200}
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        decode_record(b"\xee" + b"\x00" * 16)
+
+
+@settings(max_examples=150, deadline=None)
+@given(tids, lsns, oids, payloads)
+def test_obj_create_roundtrip_property(tid, prev, oid, image):
+    rec = roundtrip(ObjCreateRecord(tid, prev, oid=oid, image=image))
+    assert (rec.tid, rec.prev_lsn, rec.oid, rec.image) == \
+        (tid, prev, oid, image)
+
+
+@settings(max_examples=150, deadline=None)
+@given(tids, lsns, oids, st.integers(min_value=0, max_value=65535),
+       maybe_oids, maybe_oids)
+def test_ref_update_roundtrip_property(tid, prev, parent, slot, old, new):
+    rec = roundtrip(RefUpdateRecord(tid, prev, parent=parent, slot=slot,
+                                    old_child=old, new_child=new))
+    assert (rec.parent, rec.slot, rec.old_child, rec.new_child) == \
+        (parent, slot, old, new)
+
+
+@settings(max_examples=150, deadline=None)
+@given(tids, lsns, oids, st.integers(min_value=0, max_value=2**31),
+       payloads, payloads)
+def test_payload_update_roundtrip_property(tid, prev, oid, offset,
+                                           before, after):
+    rec = roundtrip(PayloadUpdateRecord(tid, prev, oid=oid, offset=offset,
+                                        before=before, after=after))
+    assert (rec.oid, rec.offset, rec.before, rec.after) == \
+        (oid, offset, before, after)
