@@ -39,8 +39,10 @@ from .core import (
     ReorgStats,
     TwoLockReorganizer,
 )
+from .core import WalReorgStateStore, resume_from_wal
 from .database import Database
 from .engine import CrashImage, IntegrityReport, StorageEngine
+from .faults import FaultInjector, FaultPlan, chaos_sweep
 from .errors import (
     EngineError,
     ReferenceProtocolError,
@@ -68,6 +70,8 @@ __all__ = [
     "EvacuationPlan",
     "ExperimentConfig",
     "ExperimentMetrics",
+    "FaultInjector",
+    "FaultPlan",
     "GcStats",
     "GraphLayout",
     "IncrementalReorganizer",
@@ -89,8 +93,11 @@ __all__ = [
     "SystemConfig",
     "TransactionStateError",
     "TwoLockReorganizer",
+    "WalReorgStateStore",
     "WorkloadConfig",
     "WorkloadDriver",
     "build_database",
+    "chaos_sweep",
+    "resume_from_wal",
     "__version__",
 ]

@@ -6,6 +6,7 @@ from .harness import (
     BenchScale,
     base_workload,
     bench_scale,
+    format_contention,
     format_series,
     format_table2,
     run_point,
@@ -19,6 +20,7 @@ __all__ = [
     "BenchScale",
     "base_workload",
     "bench_scale",
+    "format_contention",
     "format_series",
     "format_table2",
     "run_point",

@@ -183,6 +183,29 @@ def format_table2(points: Dict[str, BenchPoint]) -> str:
     return "\n".join(lines)
 
 
+def format_contention(points: Dict[str, BenchPoint]) -> str:
+    """Abort/retry/fault counters per algorithm (robustness telemetry).
+
+    ``dl-retries``/``backoff`` are the reorganizer's deadlock retries and
+    the simulated time its exponential backoff spent sleeping; ``forced``
+    and ``io-faults`` stay zero unless a fault injector was attached.
+    """
+    lines = [
+        "Contention and fault counters",
+        f"{'':6} {'aborts':>8} {'retries':>8} {'dl-retries':>10} "
+        f"{'backoff(ms)':>11} {'timeouts':>9} {'forced':>7} "
+        f"{'io-faults':>9}",
+    ]
+    for name, point in points.items():
+        m = point.metrics
+        lines.append(
+            f"{name.upper():6} {m.aborts:8d} {m.total_retries:8d} "
+            f"{m.reorg_deadlock_retries:10d} {m.reorg_backoff_ms:11.1f} "
+            f"{m.lock_timeouts:9d} {m.forced_lock_timeouts:7d} "
+            f"{m.io_faults:9d}")
+    return "\n".join(lines)
+
+
 def save_results(name: str, text: str) -> str:
     """Persist a bench's rendered output under benchmarks/results/."""
     results_dir = os.path.join(os.path.dirname(os.path.dirname(

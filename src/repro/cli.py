@@ -15,6 +15,12 @@ Commands
 ``inspect``
     Build the workload and print the database's physical layout
     (partitions, pages, fragmentation, ERT sizes).
+
+``chaos``
+    Crash-point sweep: crash a reorganization run at N distinct points
+    (or one chosen point via ``--crash-at``), recover, resume from the
+    WAL progress records, and verify integrity + graph isomorphism +
+    no-re-migration after every cycle.
 """
 
 from __future__ import annotations
@@ -26,11 +32,12 @@ from typing import List, Optional
 from .bench import (
     SCALES,
     base_workload,
+    format_contention,
     format_series,
     format_table2,
     run_three_way,
 )
-from .config import ExperimentConfig, SystemConfig, WorkloadConfig
+from .config import ExperimentConfig, ReorgConfig, SystemConfig, WorkloadConfig
 from .core import CompactionPlan
 from .database import Database, REORGANIZERS
 from .workload import WorkloadDriver
@@ -73,6 +80,10 @@ def cmd_demo(args) -> int:
           f"{metrics.throughput_tps:.1f} tps")
     print(f"  avg / max response   {metrics.avg_response_ms:.0f} / "
           f"{metrics.max_response_ms:.0f} ms")
+    print(f"  aborts / retries     {metrics.aborts} / "
+          f"{metrics.total_retries}")
+    print(f"  reorg dl-retries     {stats.deadlock_retries} "
+          f"(backoff {stats.backoff_ms_total:.0f} ms)")
     report = db.verify_integrity()
     print(f"\n  integrity: {'OK' if report.ok else 'BROKEN'}")
     return 0 if report.ok else 1
@@ -83,6 +94,8 @@ def cmd_bench(args) -> int:
     if args.experiment == "table2":
         points = run_three_way(workload, scale=SCALES[args.scale])
         print(format_table2(points))
+        print()
+        print(format_contention(points))
         return 0
     sweeps = {
         "mpl": ("mpl", SCALES[args.scale].mpl_points),
@@ -126,6 +139,28 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults import chaos_sweep, run_chaos_point
+    workload = WorkloadConfig(num_partitions=args.partitions,
+                              objects_per_partition=args.objects,
+                              mpl=args.mpl, seed=args.seed)
+    reorg_config = ReorgConfig(checkpoint_every=args.checkpoint_every)
+    if args.crash_at is not None:
+        result = run_chaos_point(args.crash_at, algorithm=args.algorithm,
+                                 workload=workload,
+                                 reorg_config=reorg_config, seed=args.seed)
+        print(result.describe())
+        return 0 if result.ok else 1
+    report = chaos_sweep(points=args.points, algorithm=args.algorithm,
+                         workload=workload, reorg_config=reorg_config,
+                         seed=args.seed,
+                         progress=lambda line: print(f"  {line}"))
+    print()
+    for key, value in report.summary().items():
+        print(f"  {key:>19}: {value}")
+    return 0 if report.all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -150,6 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect", help="print the physical layout")
     _add_scale_arguments(inspect)
     inspect.set_defaults(fn=cmd_inspect)
+
+    chaos = sub.add_parser("chaos",
+                           help="crash-point sweep over a reorg run")
+    chaos.add_argument("--algorithm", default="ira",
+                       choices=["ira", "ira-2lock"])
+    chaos.add_argument("--points", type=int, default=50,
+                       help="crash points to sweep (default 50)")
+    chaos.add_argument("--crash-at", type=float, default=None,
+                       help="run a single point: crash at this simulated "
+                            "time (ms) instead of sweeping")
+    chaos.add_argument("--checkpoint-every", type=int, default=20,
+                       help="reorg progress checkpoint interval "
+                            "(migrations, default 20)")
+    chaos.add_argument("--partitions", type=int, default=2)
+    chaos.add_argument("--objects", type=int, default=340)
+    chaos.add_argument("--mpl", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=13,
+                       help="workload + fault-plan seed (default 13)")
+    chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

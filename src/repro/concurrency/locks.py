@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, Iterable, Optional, Set
+from typing import Callable, Deque, Dict, Iterable, Optional, Set
 
 from ..sim import Event, Simulator, Wait, WaitTimeout
+
+#: Fault-injection hook: called with (tid, key, mode) whenever a request
+#: would have to wait; returning True forces an immediate timeout
+#: (simulating a lock-timeout storm / deadlock victim).
+TimeoutFaultHook = Callable[[int, object, "LockMode"], bool]
 
 
 class LockMode(enum.Enum):
@@ -63,12 +68,14 @@ class _LockEntry:
 class LockStats:
     """Aggregate contention counters, reported by the benchmarks."""
 
-    __slots__ = ("requests", "waits", "timeouts", "total_wait_ms")
+    __slots__ = ("requests", "waits", "timeouts", "forced_timeouts",
+                 "total_wait_ms")
 
     def __init__(self) -> None:
         self.requests = 0
         self.waits = 0
         self.timeouts = 0
+        self.forced_timeouts = 0
         self.total_wait_ms = 0.0
 
     def __repr__(self) -> str:
@@ -89,6 +96,7 @@ class LockManager:
         # §4.1 history: key -> active tids that ever locked it, + reverse.
         self._history: Dict[object, Set[int]] = {}
         self._tid_history: Dict[int, Set[object]] = {}
+        self.fault_hook: Optional[TimeoutFaultHook] = None
         self.stats = LockStats()
 
     # -- acquisition ---------------------------------------------------------
@@ -118,6 +126,12 @@ class LockManager:
 
         # Must wait.  Upgrades queue at the front (they already hold S and
         # would otherwise deadlock behind requests blocked on that S).
+        if self.fault_hook is not None and self.fault_hook(tid, key, mode):
+            # Injected lock-timeout storm: fail as if the full timeout had
+            # elapsed, without occupying a queue slot.
+            self.stats.timeouts += 1
+            self.stats.forced_timeouts += 1
+            raise LockTimeoutError(tid, key, mode)
         gate = self.sim.event(name=f"lock:{key}:{tid}")
         request = _Request(tid, mode, gate, upgrade)
         if upgrade:

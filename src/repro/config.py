@@ -48,6 +48,12 @@ class SystemConfig:
     enforce_ref_protocol: bool = True     # refs must come from read objects
     strict_transactions: bool = True      # strict 2PL (relaxed per §4.1)
 
+    # Transient-I/O handling (exercised by the repro.faults injector): a
+    # failed page read/write or log flush is retried with capped
+    # exponential backoff before the error escalates.
+    io_retry_limit: int = 4
+    io_retry_backoff_ms: float = 5.0
+
     def copy(self, **overrides) -> "SystemConfig":
         return replace(self, **overrides)
 
@@ -113,6 +119,20 @@ class ReorgConfig:
     checkpoint_every: int = 0
     #: Retries when Find_Exact_Parents loses a deadlock (lock timeout).
     max_deadlock_retries: int = 50
+    #: Deadlock retries back off exponentially instead of re-colliding in
+    #: lockstep: the ``n``-th retry sleeps
+    #: ``min(retry_backoff_ms * retry_backoff_factor**n,
+    #: retry_backoff_max_ms)`` scaled down by up to ``retry_jitter`` drawn
+    #: from a seeded RNG, so runs stay deterministic.  ``retry_backoff_ms=0``
+    #: restores the old retry-immediately behaviour.
+    retry_backoff_ms: float = 8.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_ms: float = 1000.0
+    retry_jitter: float = 0.5
+    retry_seed: int = 0
+
+    def copy(self, **overrides) -> "ReorgConfig":
+        return replace(self, **overrides)
 
 
 @dataclass

@@ -12,7 +12,11 @@
 from .checkpointing import (
     ReorgState,
     ReorgStateStore,
+    WalReorgStateStore,
+    decode_reorg_state,
+    encode_reorg_state,
     rebuild_trt,
+    resume_from_wal,
     resume_reorganization,
 )
 from .gc import CopyingGarbageCollector, GcStats, MarkAndSweepCollector
@@ -56,6 +60,9 @@ __all__ = [
     "ReorgStats",
     "TraversalResult",
     "TwoLockReorganizer",
+    "WalReorgStateStore",
+    "decode_reorg_state",
+    "encode_reorg_state",
     "find_objects_and_approx_parents",
     "fragmentation_score",
     "fuzzy_traversal",
@@ -63,5 +70,6 @@ __all__ = [
     "migrate_partition_quiescent",
     "rebuild_trt",
     "references_equal",
+    "resume_from_wal",
     "resume_reorganization",
 ]

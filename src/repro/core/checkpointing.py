@@ -14,10 +14,12 @@ suffix with the same rules the live log analyzer applies.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..refs import TemporaryReferenceTable
+from ..refs.trt import TrtEntry
 from ..storage import ObjectImage
 from ..storage.oid import Oid
 from ..wal.records import (
@@ -28,7 +30,12 @@ from ..wal.records import (
     ObjCreateRecord,
     ObjDeleteRecord,
     RefUpdateRecord,
+    ReorgProgressRecord,
 )
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
 
 @dataclass
@@ -68,6 +75,192 @@ class ReorgStateStore:
 
     def clear(self) -> None:
         self._state = None
+
+
+# -- WAL-carried checkpoints --------------------------------------------------
+
+def _pack_oid_list(oids) -> List[bytes]:
+    parts = [_U32.pack(len(oids))]
+    parts.extend(_U64.pack(oid.pack()) for oid in oids)
+    return parts
+
+
+def _unpack_oid_list(data: bytes, offset: int) -> Tuple[List[Oid], int]:
+    (count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    oids = []
+    for _ in range(count):
+        (packed,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        oids.append(Oid.unpack(packed))
+    return oids, offset
+
+
+def encode_reorg_state(state: ReorgState) -> bytes:
+    """Serialize a :class:`ReorgState` for a WAL progress record."""
+    algorithm = state.algorithm.encode("utf-8")
+    parts: List[bytes] = [_U8.pack(len(algorithm)), algorithm,
+                          _U32.pack(state.partition_id)]
+    parts.extend(_pack_oid_list(state.order))
+    parts.append(_U32.pack(len(state.parents)))
+    for child in sorted(state.parents, key=Oid.pack):
+        parts.append(_U64.pack(child.pack()))
+        parts.extend(_pack_oid_list(
+            sorted(state.parents[child], key=Oid.pack)))
+    parts.append(_U32.pack(len(state.mapping)))
+    for old in sorted(state.mapping, key=Oid.pack):
+        parts.append(_U64.pack(old.pack()))
+        parts.append(_U64.pack(state.mapping[old].pack()))
+    parts.extend(_pack_oid_list(sorted(state.migrated, key=Oid.pack)))
+    parts.extend(_pack_oid_list(
+        sorted(state.allocated_at_traversal, key=Oid.pack)))
+    parts.append(_U64.pack(state.log_lsn))
+    if state.in_progress is None:
+        parts.append(_U8.pack(0))
+    else:
+        old, new = state.in_progress
+        parts.append(_U8.pack(1))
+        parts.append(_U64.pack(old.pack()))
+        parts.append(_U64.pack(new.pack()))
+    parts.append(_U32.pack(state.relocation_floor))
+    parts.append(_U32.pack(len(state.trt_entries)))
+    for entry in state.trt_entries:
+        parts.append(_U64.pack(entry.child.pack()))
+        parts.append(_U64.pack(entry.parent.pack()))
+        parts.append(_U64.pack(entry.tid))
+        parts.append(_U8.pack(1 if entry.action == "D" else 0))
+        parts.append(_U32.pack(entry.seq))
+    return b"".join(parts)
+
+
+def decode_reorg_state(data: bytes) -> ReorgState:
+    """Inverse of :func:`encode_reorg_state`."""
+    (algo_len,) = _U8.unpack_from(data, 0)
+    offset = _U8.size
+    algorithm = data[offset:offset + algo_len].decode("utf-8")
+    offset += algo_len
+    (partition_id,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    order, offset = _unpack_oid_list(data, offset)
+    (parent_count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    parents: Dict[Oid, Set[Oid]] = {}
+    for _ in range(parent_count):
+        (packed,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        plist, offset = _unpack_oid_list(data, offset)
+        parents[Oid.unpack(packed)] = set(plist)
+    (map_count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    mapping: Dict[Oid, Oid] = {}
+    for _ in range(map_count):
+        (old,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (new,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        mapping[Oid.unpack(old)] = Oid.unpack(new)
+    migrated_list, offset = _unpack_oid_list(data, offset)
+    allocated_list, offset = _unpack_oid_list(data, offset)
+    (log_lsn,) = _U64.unpack_from(data, offset)
+    offset += _U64.size
+    (has_in_progress,) = _U8.unpack_from(data, offset)
+    offset += _U8.size
+    in_progress = None
+    if has_in_progress:
+        (old,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (new,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        in_progress = (Oid.unpack(old), Oid.unpack(new))
+    (relocation_floor,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    (trt_count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    trt_entries: List[TrtEntry] = []
+    for _ in range(trt_count):
+        (child,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (parent,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (tid,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (is_delete,) = _U8.unpack_from(data, offset)
+        offset += _U8.size
+        (seq,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        trt_entries.append(TrtEntry(Oid.unpack(child), Oid.unpack(parent),
+                                    tid, "D" if is_delete else "I", seq))
+    return ReorgState(algorithm=algorithm, partition_id=partition_id,
+                      order=order, parents=parents, mapping=mapping,
+                      migrated=set(migrated_list),
+                      allocated_at_traversal=set(allocated_list),
+                      log_lsn=log_lsn, in_progress=in_progress,
+                      relocation_floor=relocation_floor,
+                      trt_entries=trt_entries)
+
+
+class WalReorgStateStore(ReorgStateStore):
+    """Reorg checkpoints carried in the WAL itself (crash-resumable §4.4).
+
+    ``save`` appends a :class:`ReorgProgressRecord` (``tid == 0``); its
+    durability rides the next group commit — the migration transaction
+    whose commit follows the checkpoint flushes it along.  A checkpoint
+    that misses the flushed prefix costs only re-derived work at resume
+    (the roll-forward over committed migrations covers the gap), never
+    correctness.  ``clear`` appends an empty-state tombstone so a
+    completed reorganization is not resumed.  ``load`` reads the latest
+    record back from the engine's log, so the store works identically on
+    the original engine and on one rebuilt by restart recovery.
+    """
+
+    def __init__(self, engine, partition_id: int) -> None:
+        super().__init__()
+        self.engine = engine
+        self.partition_id = partition_id
+
+    def save(self, state: ReorgState) -> None:
+        self.saves += 1
+        self.engine.log.append(ReorgProgressRecord(
+            0, 0, partition_id=state.partition_id,
+            algorithm=state.algorithm, state=encode_reorg_state(state)))
+
+    def clear(self) -> None:
+        self.engine.log.append(ReorgProgressRecord(
+            0, 0, partition_id=self.partition_id, algorithm="", state=b""))
+
+    def _latest_record(self) -> Optional[ReorgProgressRecord]:
+        latest: Optional[ReorgProgressRecord] = None
+        for record in self.engine.log.records():
+            if isinstance(record, ReorgProgressRecord) and \
+                    record.partition_id == self.partition_id:
+                latest = record
+        return latest
+
+    def load(self) -> Optional[ReorgState]:
+        latest = self._latest_record()
+        if latest is None or latest.is_tombstone:
+            return None
+        return decode_reorg_state(latest.state)
+
+    def completed(self) -> bool:
+        """True when the latest durable progress record is the completion
+        tombstone — the reorganization finished before the crash."""
+        latest = self._latest_record()
+        return latest is not None and latest.is_tombstone
+
+
+def resume_from_wal(engine, partition_id: int, plan=None, reorg_config=None):
+    """Resume a crashed reorganization from its WAL progress records.
+
+    Convenience over :func:`resume_reorganization` with a
+    :class:`WalReorgStateStore`: returns a ready-to-run reorganizer, or
+    ``None`` when the durable log holds no (non-tombstoned) progress
+    record for the partition — meaning either no checkpoint survived or
+    the reorganization had already completed.
+    """
+    store = WalReorgStateStore(engine, partition_id)
+    return resume_reorganization(engine, store, plan=plan,
+                                 reorg_config=reorg_config)
 
 
 def rebuild_trt(engine, partition_id: int, from_lsn: int,

@@ -27,12 +27,14 @@ for every active transaction that ever locked it (§4.1).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set
 
 from ..concurrency import LockMode, LockTimeoutError
 from ..config import ReorgConfig
 from ..errors import ReorganizationError
+from ..sim import Delay
 from ..storage.oid import Oid
 from .plan import RelocationPlan
 from .traversal import (
@@ -55,6 +57,8 @@ class ReorgStats:
     garbage_collected: int = 0
     parent_patches: int = 0
     deadlock_retries: int = 0
+    #: Total simulated time spent sleeping between deadlock retries.
+    backoff_ms_total: float = 0.0
     max_locks_held: int = 0
     #: Lock acquisitions on objects outside the partition (the §7 metric
     #: the ParentLocalityPlan ordering minimizes).
@@ -98,6 +102,10 @@ class IncrementalReorganizer:
         self._migrated: Set[Oid] = set()
         self._allocated_at_traversal: Set[Oid] = set()
         self._resumed = False
+        # Seeded per-reorganizer: a string seed keeps runs reproducible
+        # (tuple seeds would go through randomized hash()).
+        self._retry_rng = random.Random(
+            f"backoff/{self.cfg.retry_seed}/{partition_id}")
 
     # -- top level (Fig. 1) -------------------------------------------------------
 
@@ -116,6 +124,10 @@ class IncrementalReorganizer:
             if self.cfg.collect_garbage:
                 yield from self._collect_garbage()
             self.plan.finalize(self.engine, self.partition_id)
+            if self.state_store is not None:
+                # Tombstone the progress record: a crash after this point
+                # must not resume a finished reorganization.
+                self.state_store.clear()
         finally:
             self.engine.deactivate_trt(self.partition_id)
         self.stats.trt_peak = self.trt.stats.peak_size
@@ -188,12 +200,31 @@ class IncrementalReorganizer:
             except LockTimeoutError:
                 self.stats.deadlock_retries += 1
                 yield from txn.abort()
+                yield from self._retry_backoff(attempt)
                 continue
             self._apply_bookkeeping(batch_mapping, bookkeeping)
             return
         raise ReorganizationError(
             f"batch starting at {batch[0]} exceeded "
             f"{self.cfg.max_deadlock_retries} deadlock retries")
+
+    def _retry_backoff(self, attempt: int) -> Generator[Any, Any, None]:
+        """Sleep before retrying a deadlock-aborted batch (§4.4 retries).
+
+        Capped exponential backoff with deterministic seeded jitter, so
+        repeated collisions with the same user transactions de-synchronize
+        instead of re-colliding in lockstep.  ``retry_backoff_ms = 0``
+        restores the retry-immediately behaviour.
+        """
+        if self.cfg.retry_backoff_ms <= 0:
+            return
+        delay = min(
+            self.cfg.retry_backoff_ms * self.cfg.retry_backoff_factor ** attempt,
+            self.cfg.retry_backoff_max_ms)
+        delay *= 1.0 - self.cfg.retry_jitter * self._retry_rng.random()
+        if delay > 0:
+            self.stats.backoff_ms_total += delay
+            yield Delay(delay)
 
     # -- Fig. 4: Find_Exact_Parents ------------------------------------------------------
 

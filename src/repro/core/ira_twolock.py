@@ -36,7 +36,68 @@ from typing import Any, Dict, Generator, List, Optional, Set
 from ..concurrency import LockMode, LockTimeoutError
 from ..errors import ReorganizationError
 from ..storage.oid import Oid
+from ..wal.records import (
+    BeginRecord,
+    CommitRecord,
+    ObjCreateRecord,
+    PayloadUpdateRecord,
+    RefUpdateRecord,
+)
 from .ira import IncrementalReorganizer
+
+
+def reconciled_copy_image(engine, partition_id: int, old: Oid, new: Oid,
+                          transform=None):
+    """The image the §4.2 copy must hold before parent patching (re)starts.
+
+    While a migration is suspended with its locks released — the backoff
+    after a deadlock abort, or the span from a crash to the resumed run —
+    user transactions can commit updates through *either* address of the
+    in-flight pair: through the old one via still-unpatched parents, and
+    through the new one via parents already patched.  Updates through the
+    old address live in the old location's stored image; updates through
+    the new address live only in the copy (and the log).  Reusing the
+    copy as-is would lose the former — a lost update.
+
+    The merged image is the old location's current committed image
+    (re-transformed, self-references translated to the new address) with
+    the copy's committed user updates re-applied in log order.
+    """
+    image = engine.store.read_object(old)
+    if transform is not None:
+        image = transform(old, image)
+    for slot, ref in image.refs():
+        if ref == old:
+            image.set_ref(slot, new)
+    # Updates that reached the copy directly: committed, non-reorganizer
+    # records against the new address, newer than the copy's (committed)
+    # creation.  Reorganizer-owned records are the copy's own lifecycle
+    # (creation, earlier reconciliations) — never user data.
+    owned: set = set()
+    committed: set = set()
+    for record in engine.log.records():
+        if isinstance(record, BeginRecord) and record.is_system and \
+                record.owner_partition == partition_id:
+            owned.add(record.tid)
+        elif isinstance(record, CommitRecord):
+            committed.add(record.tid)
+    created_lsn = None
+    for record in engine.log.records():
+        if isinstance(record, ObjCreateRecord) and record.oid == new and \
+                record.tid in owned and record.tid in committed:
+            created_lsn = record.lsn
+    if created_lsn is None:
+        return image
+    for record in engine.log.records(from_lsn=created_lsn + 1):
+        if record.tid in owned or record.tid not in committed:
+            continue
+        if isinstance(record, PayloadUpdateRecord) and record.oid == new:
+            body = image.payload
+            end = record.offset + len(record.after)
+            image.payload = body[:record.offset] + record.after + body[end:]
+        elif isinstance(record, RefUpdateRecord) and record.parent == new:
+            image.set_ref(record.slot, record.new_child)
+    return image
 
 
 def references_equal(ref_a: Oid, ref_b: Oid,
@@ -110,17 +171,26 @@ class TwoLockReorganizer(IncrementalReorganizer):
                 new_oid = yield from create_txn.create_object(
                     self.plan.target_partition(oid), image,
                     fresh_only=self.plan.fresh_only, cpu_ms=0)
+                # Checkpoint BEFORE the create commits: the progress record
+                # precedes the commit record in the log, so the commit's
+                # flush makes them durable together — a crash can never
+                # leave a durable orphan copy that no in-progress record
+                # names (resume would re-migrate the object to a second
+                # copy and strand this one's stale references).
+                if self.state_store is not None:
+                    self._checkpoint_state(in_progress=(oid, new_oid))
                 yield from create_txn.commit()
             else:
                 new_oid = resumed_new_oid
+                if self.state_store is not None:
+                    self._checkpoint_state(in_progress=(oid, new_oid))
             # Lock the new location too (it is unreachable until the first
             # parent is patched, so the gap after create-commit is safe).
             yield from anchor.lock(new_oid, LockMode.X)
             self.in_flight[oid] = new_oid
 
-            if self.state_store is not None:
-                self._checkpoint_state(in_progress=(oid, new_oid))
-
+            if resumed_new_oid is not None:
+                yield from self._reconcile_copy(anchor, oid, new_oid)
             yield from self._patch_parents_one_at_a_time(anchor, oid, new_oid)
 
             # All parents now reference the new location; delete the old
@@ -138,6 +208,8 @@ class TwoLockReorganizer(IncrementalReorganizer):
                 raise ReorganizationError(
                     f"{oid}: exceeded {self.cfg.max_deadlock_retries} "
                     f"deadlock retries")
+            yield from self._retry_backoff(
+                min(self.stats.deadlock_retries - 1, 32))
             yield from self._migrate_one(oid, resumed_new_oid=retry_new)
             return
         del self.in_flight[oid]
@@ -203,6 +275,19 @@ class TwoLockReorganizer(IncrementalReorganizer):
         for slot in slots:
             yield from txn.update_ref(holder, slot, new_child, cpu_ms=0)
             self.stats.parent_patches += 1
+
+    def _reconcile_copy(self, anchor, oid: Oid, new_oid: Oid
+                        ) -> Generator[Any, Any, None]:
+        """Refresh a reused copy from the old location's committed state.
+
+        Runs with the anchor holding X on both addresses, so both stored
+        images are committed and stable; see
+        :func:`reconciled_copy_image` for why the copy may be stale.
+        """
+        expected = reconciled_copy_image(self.engine, self.partition_id,
+                                         oid, new_oid, self.transform)
+        if self.engine.store.read_object(new_oid) != expected:
+            yield from anchor.replace_object(new_oid, expected)
 
     def _note_lock_footprint(self, anchor, patch_txn) -> None:
         # The anchor holds the migrating object's two locations = one

@@ -80,11 +80,15 @@ class StorageEngine:
         self.buffer = (BufferPool(self.sim, self.data_disk,
                                   capacity_pages=self.config.buffer_pool_pages,
                                   read_ms=self.config.disk_read_ms,
-                                  write_ms=self.config.disk_write_ms)
+                                  write_ms=self.config.disk_write_ms,
+                                  io_retry_limit=self.config.io_retry_limit,
+                                  io_retry_backoff_ms=self.config.io_retry_backoff_ms)
                        if self.config.disk_resident else None)
         self.store = ObjectStore(page_size=self.config.page_size)
         self.log = LogManager(self.sim, self.log_disk,
-                              flush_time_ms=self.config.log_flush_ms)
+                              flush_time_ms=self.config.log_flush_ms,
+                              io_retry_limit=self.config.io_retry_limit,
+                              io_retry_backoff_ms=self.config.io_retry_backoff_ms)
         self.locks = LockManager(self.sim,
                                  timeout_ms=self.config.lock_timeout_ms,
                                  track_history=self.config.track_lock_history)
@@ -97,6 +101,9 @@ class StorageEngine:
         self.snapshots = SnapshotStore()
         #: Populated by :meth:`recover` on engines built from a crash image.
         self.recovery_stats = None
+        #: Set by :meth:`repro.faults.FaultInjector.attach`; ``crash()``
+        #: detaches it so a recovered engine starts fault-free.
+        self.injector = None
 
     # -- partitions & reference tables ------------------------------------------
 
@@ -158,6 +165,8 @@ class StorageEngine:
     def crash(self) -> CrashImage:
         """Simulate a system failure: kill every process, keep only the
         durable state."""
+        if self.injector is not None:
+            self.injector.detach()
         image = CrashImage(durable_log=self.log.durable_bytes(),
                            snapshots=self.snapshots,
                            config=self.config)
@@ -185,12 +194,17 @@ class StorageEngine:
             engine.sim, engine.data_disk,
             capacity_pages=image.config.buffer_pool_pages,
             read_ms=image.config.disk_read_ms,
-            write_ms=image.config.disk_write_ms)
+            write_ms=image.config.disk_write_ms,
+            io_retry_limit=image.config.io_retry_limit,
+            io_retry_backoff_ms=image.config.io_retry_backoff_ms)
             if image.config.disk_resident else None)
         engine.log = LogManager.from_durable(
             engine.sim, engine.log_disk,
             flush_time_ms=image.config.log_flush_ms,
             durable=image.durable_log)
+        engine.log.io_retry_limit = image.config.io_retry_limit
+        engine.log.io_retry_backoff_ms = image.config.io_retry_backoff_ms
+        engine.injector = None
         engine.locks = LockManager(
             engine.sim, timeout_ms=image.config.lock_timeout_ms,
             track_history=image.config.track_lock_history)

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and chaos testing.
+
+* :class:`FaultPlan` — declarative, seed-driven description of the
+  faults one run will suffer (crashes, targeted kills, transient I/O
+  errors, lock-timeout storms).
+* :class:`FaultInjector` — threads a plan through a storage engine's
+  fault hooks.
+* :mod:`repro.faults.chaos` — the crash-point sweep harness asserting
+  integrity, graph isomorphism and no-re-migration after every
+  crash/recover/resume cycle.
+"""
+
+from .chaos import (
+    ChaosPointResult,
+    ChaosReport,
+    chaos_sweep,
+    count_remigrations,
+    graph_signature,
+    probe_run_window,
+    run_chaos_point,
+)
+from .injector import FaultInjector, InjectorStats
+from .plan import ALWAYS, FaultPlan
+
+__all__ = [
+    "ALWAYS",
+    "ChaosPointResult",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectorStats",
+    "chaos_sweep",
+    "count_remigrations",
+    "graph_signature",
+    "probe_run_window",
+    "run_chaos_point",
+]

@@ -1,0 +1,344 @@
+"""Chaos harness: sweep crash points across a reorganization run.
+
+Every point of a sweep is one full fault/recovery cycle:
+
+1. build a fresh workload database (deterministic for the sweep's seed),
+   start an on-line reorganization with WAL-carried progress checkpoints
+   (:class:`~repro.core.WalReorgStateStore`) plus MPL workload threads;
+2. crash at the point's simulated time via a :class:`FaultPlan`;
+3. restart-recover, assert ``verify_integrity().ok``;
+4. resume the reorganization from its WAL progress records and finish it;
+5. assert integrity again, that the object graph after the resumed run is
+   isomorphic to the graph right after recovery (reorganization moves
+   objects, it never changes what references what), that no object was
+   lost or duplicated, and — by inspecting the WAL — that the resumed run
+   did not re-migrate objects the pre-crash run had already moved.
+
+The isomorphism check compares *recovered-before-resume* against
+*after-resume*: the pre-crash graph is not a valid reference because
+concurrent user transactions commit payload pokes and glue-edge re-points
+right up to the crash, and in-flight ones are undone by recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import ExperimentConfig, ReorgConfig, WorkloadConfig
+from ..core import CompactionPlan, WalReorgStateStore, resume_reorganization
+from ..core.ira_twolock import reconciled_copy_image
+from ..database import Database
+from ..storage.oid import Oid
+from ..wal.records import BeginRecord, CommitRecord, ObjDeleteRecord
+from ..workload import WorkloadDriver
+from ..workload.metrics import ExperimentMetrics
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+#: Default sweep scale: small enough that a 50-point sweep stays cheap,
+#: big enough that crashes land in every reorg phase.
+DEFAULT_WORKLOAD = WorkloadConfig(num_partitions=2,
+                                  objects_per_partition=340,
+                                  mpl=4, seed=13)
+DEFAULT_REORG = ReorgConfig(checkpoint_every=20)
+REORG_PARTITION = 1
+
+
+def graph_signature(engine,
+                    collapse: Optional[Tuple[Oid, Oid]] = None) -> Tuple:
+    """Address-free canonical form of the object graph.
+
+    Each object contributes ``(payload, sorted child payloads)``; the
+    multiset of contributions is invariant under relocation (the load
+    generator gives every object a distinct payload, so this determines
+    the graph up to isomorphism).
+
+    ``collapse`` names the ``(old, new)`` pair of a two-lock migration
+    interrupted between the copy's commit and the old location's delete:
+    the object is durably in both places (§4.2's mixed state) and the
+    resume collapses the pair back to one.  The signature then counts
+    the object once — with the merged image the resumed run will install
+    (:func:`~repro.core.ira_twolock.reconciled_copy_image`, the old
+    location's committed state plus any updates that reached the copy
+    directly) — and resolves references to either address to it.
+    """
+    store = engine.store
+    payload = {oid: store.read_object(oid).payload
+               for oid in store.all_live_oids()}
+    skip = survivor = merged_children = None
+    if collapse is not None:
+        old, new = collapse
+        merged = reconciled_copy_image(engine, old.partition, old, new)
+        skip, survivor = new, old
+        payload[old] = payload[new] = merged.payload
+        merged_children = merged.children()
+    entries = []
+    for oid, body in payload.items():
+        if oid == skip:
+            continue
+        kids = merged_children if oid == survivor else store.children_of(oid)
+        children = sorted(payload.get(c, b"<dangling>") for c in kids)
+        entries.append((body, tuple(children)))
+    return tuple(sorted(entries))
+
+
+def count_remigrations(engine, partition_id: int, from_lsn: int,
+                       already_migrated_new: Set[Oid]) -> int:
+    """How many already-migrated objects the post-``from_lsn`` log shows
+    being migrated *again*.
+
+    A re-migration deletes the object's post-migration address inside a
+    committed reorganizer-owned transaction, so it is visible as an
+    OBJ_DELETE on an address in ``already_migrated_new`` (the new
+    addresses the pre-crash run had produced).  A correct resume leaves
+    those addresses alone and only migrates the still-pending objects.
+    """
+    owned: Set[int] = set()
+    committed: Set[int] = set()
+    for record in engine.log.records():
+        if isinstance(record, BeginRecord) and record.is_system and \
+                record.owner_partition == partition_id:
+            owned.add(record.tid)
+        elif record.lsn > from_lsn and isinstance(record, CommitRecord):
+            committed.add(record.tid)
+    count = 0
+    for record in engine.log.records(from_lsn=from_lsn + 1):
+        if isinstance(record, ObjDeleteRecord) and \
+                record.tid in owned and record.tid in committed and \
+                record.oid in already_migrated_new:
+            count += 1
+    return count
+
+
+@dataclass
+class ChaosPointResult:
+    """Outcome of one crash/recover/resume cycle."""
+
+    crash_at_ms: float
+    crashed: bool = False
+    recovered: bool = False
+    integrity_after_recovery: bool = False
+    integrity_after_resume: bool = False
+    isomorphic: bool = False
+    objects_conserved: bool = False
+    #: A WAL progress record was found and the run continued from it.
+    resumed: bool = False
+    #: The reorganization had already finished when the crash hit
+    #: (tombstone found) — nothing to resume.
+    completed_before_crash: bool = False
+    migrated_before_crash: int = 0
+    migrated_by_resume: int = 0
+    remigrations: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL " + "; ".join(self.problems)
+        mode = ("resumed" if self.resumed
+                else "done-pre-crash" if self.completed_before_crash
+                else "fresh-restart")
+        return (f"crash@{self.crash_at_ms:9.1f}ms {mode:>14} "
+                f"pre={self.migrated_before_crash:3d} "
+                f"post={self.migrated_by_resume:3d} "
+                f"remigr={self.remigrations} {status}")
+
+
+@dataclass
+class ChaosReport:
+    """A full sweep's outcome."""
+
+    algorithm: str
+    seed: int
+    points: List[ChaosPointResult] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(point.ok for point in self.points)
+
+    @property
+    def failures(self) -> List[ChaosPointResult]:
+        return [point for point in self.points if not point.ok]
+
+    @property
+    def resume_demonstrated(self) -> bool:
+        """At least one point continued real pre-crash progress without
+        re-migrating anything (the §4.4 payoff)."""
+        return any(p.resumed and p.migrated_before_crash > 0
+                   and p.remigrations == 0 and p.ok for p in self.points)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "points": len(self.points),
+            "failures": len(self.failures),
+            "resumed_points": sum(1 for p in self.points if p.resumed),
+            "resume_demonstrated": self.resume_demonstrated,
+            "all_ok": self.all_ok,
+        }
+
+
+def _launch(algorithm: str, workload: WorkloadConfig,
+            reorg_config: ReorgConfig,
+            fault_plan: Optional[FaultPlan]):
+    """Fresh database + reorganizer + MPL threads (+ optional injector)."""
+    db, layout = Database.with_workload(workload)
+    engine = db.engine
+    store = WalReorgStateStore(engine, REORG_PARTITION)
+    reorg = db.reorganizer(REORG_PARTITION, algorithm,
+                           plan=CompactionPlan(),
+                           reorg_config=reorg_config, state_store=store)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan, engine).attach()
+    driver = WorkloadDriver(engine, layout, ExperimentConfig(workload=workload))
+    metrics = ExperimentMetrics(algorithm, workload.mpl)
+    reorg_proc = db.sim.spawn(reorg.run(), name="reorganizer")
+    for i in range(workload.mpl):
+        db.sim.spawn(driver._thread_process(i, metrics), name=f"thread-{i}")
+    return db, reorg, reorg_proc, injector
+
+
+def probe_run_window(algorithm: str = "ira",
+                     workload: Optional[WorkloadConfig] = None,
+                     reorg_config: Optional[ReorgConfig] = None
+                     ) -> Tuple[float, float]:
+    """Fault-free probe: the (start, end) simulated time of the reorg run.
+
+    Determinism makes this exact: a sweep's fault-free prefix replays the
+    probe's timeline, so any crash point strictly inside the window lands
+    mid-reorganization."""
+    workload = workload or DEFAULT_WORKLOAD
+    reorg_config = reorg_config or DEFAULT_REORG
+    db, reorg, reorg_proc, _ = _launch(algorithm, workload, reorg_config,
+                                       fault_plan=None)
+    db.sim.run(until=reorg.stats.started_ms + 10 * 60 * 1000.0)
+    if not reorg_proc.done.fired:
+        raise RuntimeError("probe run did not finish within 10 simulated "
+                           "minutes; shrink the workload")
+    stats = reorg_proc.result
+    db.sim.kill_all()
+    return stats.started_ms, stats.finished_ms
+
+
+def run_chaos_point(crash_at_ms: float, algorithm: str = "ira",
+                    workload: Optional[WorkloadConfig] = None,
+                    reorg_config: Optional[ReorgConfig] = None,
+                    seed: int = 0) -> ChaosPointResult:
+    """One crash/recover/resume cycle; see the module docstring."""
+    workload = workload or DEFAULT_WORKLOAD
+    reorg_config = reorg_config or DEFAULT_REORG
+    result = ChaosPointResult(crash_at_ms=crash_at_ms)
+
+    plan = FaultPlan.crash_at(crash_at_ms, seed=seed)
+    db, reorg, reorg_proc, injector = _launch(
+        algorithm, workload, reorg_config, plan)
+    db.sim.run(until=crash_at_ms + 1.0)
+    if not injector.crashed:
+        result.problems.append("crash trigger never fired")
+        return result
+    result.crashed = True
+    result.migrated_before_crash = reorg.stats.objects_migrated
+
+    recovered = Database.recover(injector.crash_image)
+    engine = recovered.engine
+    result.recovered = True
+    report = engine.verify_integrity()
+    result.integrity_after_recovery = report.ok
+    if not report.ok:
+        result.problems.append(
+            f"integrity after recovery: {report.problems()[:3]}")
+        return result
+
+    store = WalReorgStateStore(engine, REORG_PARTITION)
+    result.completed_before_crash = store.completed()
+    # A two-lock migration caught between copy-commit and old-delete has
+    # the object durably in both places; the resume will collapse the
+    # pair, so the reference state must count that object once.
+    mixed_pair: Optional[Tuple[Oid, Oid]] = None
+    state = store.load()
+    if state is not None and state.in_progress is not None:
+        old, new = state.in_progress
+        if engine.store.exists(old) and engine.store.exists(new):
+            mixed_pair = (old, new)
+    reference_signature = graph_signature(engine, collapse=mixed_pair)
+    reference_counts = {pid: engine.store.stats(pid).live_objects
+                        for pid in engine.store.partition_ids()}
+    if mixed_pair is not None:
+        reference_counts[mixed_pair[1].partition] -= 1
+    resume_lsn = engine.log.last_lsn
+    resumed = resume_reorganization(engine, store, plan=CompactionPlan(),
+                                    reorg_config=reorg_config)
+    premigrated_new: Set[Oid] = set()
+    if resumed is not None:
+        result.resumed = True
+        # The roll-forward has already folded post-checkpoint committed
+        # migrations in, so this is the true pre-crash progress.
+        result.migrated_before_crash = len(resumed._migrated)
+        premigrated_new = {resumed._mapping[old]
+                           for old in resumed._migrated
+                           if old in resumed._mapping}
+        stats = recovered.run(resumed.run(), name="resumed-reorg")
+        result.migrated_by_resume = stats.objects_migrated
+    elif not result.completed_before_crash:
+        # Crash before the first checkpoint became durable: §4.4 says
+        # start afresh.
+        stats = recovered.reorganize(REORG_PARTITION, algorithm=algorithm,
+                                     plan=CompactionPlan(),
+                                     reorg_config=reorg_config)
+        result.migrated_before_crash = 0
+        result.migrated_by_resume = stats.objects_migrated
+
+    report = engine.verify_integrity()
+    result.integrity_after_resume = report.ok
+    if not report.ok:
+        result.problems.append(
+            f"integrity after resume: {report.problems()[:3]}")
+    result.isomorphic = graph_signature(engine) == reference_signature
+    if not result.isomorphic:
+        result.problems.append("graph changed across resume")
+    counts = {pid: engine.store.stats(pid).live_objects
+              for pid in engine.store.partition_ids()}
+    result.objects_conserved = counts == reference_counts
+    if not result.objects_conserved:
+        result.problems.append(
+            f"object counts changed: {reference_counts} -> {counts}")
+    if result.resumed:
+        result.remigrations = count_remigrations(
+            engine, REORG_PARTITION, resume_lsn, premigrated_new)
+        if result.remigrations:
+            result.problems.append(
+                f"{result.remigrations} objects re-migrated after resume")
+    return result
+
+
+def chaos_sweep(points: int = 50, algorithm: str = "ira",
+                workload: Optional[WorkloadConfig] = None,
+                reorg_config: Optional[ReorgConfig] = None,
+                seed: int = 0,
+                progress=None) -> ChaosReport:
+    """Crash at ``points`` distinct times spread across the reorg window.
+
+    ``progress`` (optional callable, e.g. ``print``) receives each
+    point's one-line description as it completes.
+    """
+    if points < 1:
+        raise ValueError("need at least one crash point")
+    workload = workload or DEFAULT_WORKLOAD
+    reorg_config = reorg_config or DEFAULT_REORG
+    start, end = probe_run_window(algorithm, workload, reorg_config)
+    report = ChaosReport(algorithm=algorithm, seed=seed)
+    span = end - start
+    for index in range(points):
+        crash_at = start + span * (index + 1) / (points + 1)
+        result = run_chaos_point(crash_at, algorithm=algorithm,
+                                 workload=workload,
+                                 reorg_config=reorg_config, seed=seed)
+        report.points.append(result)
+        if progress is not None:
+            progress(result.describe())
+    return report

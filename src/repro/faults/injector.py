@@ -1,0 +1,195 @@
+"""The fault injector: threads a :class:`FaultPlan` through the engine.
+
+One injector serves one :class:`~repro.engine.StorageEngine`.  ``attach``
+wires the plan into the engine's fault hooks (buffer pool, log manager,
+lock manager) and arms the crash/kill triggers; ``detach`` unwires
+everything.  ``StorageEngine.crash`` detaches the attached injector
+automatically, so a recovered engine always starts fault-free — chaos
+harnesses re-attach explicitly if they want faults after recovery.
+
+Crash triggers never fire synchronously: appending a log record happens
+inside whatever process is executing, and throwing into the running
+generator from its own frame is illegal.  Triggers therefore schedule the
+actual crash via ``sim.call_soon``; the crash happens a scheduler step
+later, at the same simulated instant.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Tuple
+
+from ..storage.errors import TransientIOError
+from ..wal.records import PHYSICAL_KINDS, LogRecord
+from .plan import FaultPlan
+
+
+class InjectorStats:
+    """What the injector actually did to the run."""
+
+    __slots__ = ("crashes_fired", "kills_fired", "processes_killed",
+                 "io_faults_injected", "forced_lock_timeouts",
+                 "page_writes_seen")
+
+    def __init__(self) -> None:
+        self.crashes_fired = 0
+        self.kills_fired = 0
+        self.processes_killed = 0
+        self.io_faults_injected = 0
+        self.forced_lock_timeouts = 0
+        self.page_writes_seen = 0
+
+    def __repr__(self) -> str:
+        return (f"<InjectorStats crashes={self.crashes_fired} "
+                f"kills={self.kills_fired} io={self.io_faults_injected} "
+                f"lock_timeouts={self.forced_lock_timeouts}>")
+
+
+class FaultInjector:
+    """Injects the faults a :class:`FaultPlan` declares into one engine.
+
+    After a crash trigger fires, :attr:`crashed` is True and
+    :attr:`crash_image` holds the :class:`~repro.engine.CrashImage` to
+    recover from (unless ``on_crash`` overrides the default behaviour).
+    """
+
+    def __init__(self, plan: FaultPlan, engine,
+                 on_crash: Optional[Callable[[], None]] = None):
+        self.plan = plan
+        self.engine = engine
+        #: Called instead of ``engine.crash()`` when a crash trigger
+        #: fires; for harnesses that need to snapshot extra state first.
+        self.on_crash = on_crash
+        self.stats = InjectorStats()
+        self.crashed = False
+        self.crash_image = None
+        self._attached = False
+        self._crash_pending = False
+        self._kill_fired = False
+        # String seeds: deterministic regardless of PYTHONHASHSEED.
+        self._rng_io = random.Random(f"faults/io/{plan.seed}")
+        self._rng_locks = random.Random(f"faults/locks/{plan.seed}")
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self) -> "FaultInjector":
+        """Install the plan's hooks and arm its triggers."""
+        if self._attached:
+            return self
+        engine, plan = self.engine, self.plan
+        self._attached = True
+        engine.injector = self
+        if plan.crash_at_lsn is not None or \
+                plan.crash_at_page_write is not None:
+            engine.log.subscribe(self._on_log_record)
+            self._subscribed = True
+        else:
+            self._subscribed = False
+        if plan.io_error_rate > 0.0:
+            engine.log.fault_hook = self._log_flush_fault
+            if engine.buffer is not None:
+                engine.buffer.fault_hook = self._page_io_fault
+        if plan.lock_storm_rate > 0.0:
+            engine.locks.fault_hook = self._lock_fault
+        if plan.crash_at_ms is not None:
+            engine.sim.call_later(
+                max(0.0, plan.crash_at_ms - engine.sim.now),
+                self._trigger_crash)
+        if plan.kill_process_at_ms is not None:
+            engine.sim.call_later(
+                max(0.0, plan.kill_process_at_ms - engine.sim.now),
+                self._fire_kill)
+        return self
+
+    def detach(self) -> None:
+        """Unwire every hook (idempotent; called by ``engine.crash``)."""
+        if not self._attached:
+            return
+        self._attached = False
+        engine = self.engine
+        if self._subscribed:
+            engine.log.unsubscribe(self._on_log_record)
+            self._subscribed = False
+        # Bound-method comparison needs ==, not `is`: every attribute
+        # access creates a fresh bound-method object.
+        if engine.log.fault_hook == self._log_flush_fault:
+            engine.log.fault_hook = None
+        if engine.buffer is not None and \
+                engine.buffer.fault_hook == self._page_io_fault:
+            engine.buffer.fault_hook = None
+        if engine.locks.fault_hook == self._lock_fault:
+            engine.locks.fault_hook = None
+        if engine.injector is self:
+            engine.injector = None
+
+    # -- crash / kill triggers ------------------------------------------------
+
+    def _on_log_record(self, record: LogRecord) -> None:
+        if self._crash_pending or self.crashed:
+            return
+        plan = self.plan
+        if record.kind in PHYSICAL_KINDS:
+            self.stats.page_writes_seen += 1
+            if plan.crash_at_page_write is not None and \
+                    self.stats.page_writes_seen >= plan.crash_at_page_write:
+                self._trigger_crash()
+                return
+        if plan.crash_at_lsn is not None and record.lsn >= plan.crash_at_lsn:
+            self._trigger_crash()
+
+    def _trigger_crash(self) -> None:
+        if self._crash_pending or self.crashed:
+            return
+        self._crash_pending = True
+        # Deferred: the trigger may be running inside the very process a
+        # crash would kill (a log append from a transaction's generator).
+        self.engine.sim.call_soon(self._do_crash)
+
+    def _do_crash(self) -> None:
+        if self.crashed:
+            return
+        self.crashed = True
+        self.stats.crashes_fired += 1
+        if self.on_crash is not None:
+            self.on_crash()
+        else:
+            self.crash_image = self.engine.crash()
+
+    def _fire_kill(self) -> None:
+        if self._kill_fired or self.crashed:
+            return
+        self._kill_fired = True
+        self.stats.kills_fired += 1
+        self.stats.processes_killed += self.engine.sim.kill_matching(
+            self.plan.kill_process_match)
+
+    # -- probabilistic hooks ----------------------------------------------------
+
+    def _in_window(self, window: Tuple[float, float]) -> bool:
+        start, end = window
+        return start <= self.engine.sim.now <= end
+
+    def _page_io_fault(self, op: str, key) -> None:
+        if self._in_window(self.plan.io_error_window_ms) and \
+                self._rng_io.random() < self.plan.io_error_rate:
+            self.stats.io_faults_injected += 1
+            raise TransientIOError(f"injected {op} fault on page {key}")
+
+    def _log_flush_fault(self, target_lsn: int) -> None:
+        if self._in_window(self.plan.io_error_window_ms) and \
+                self._rng_io.random() < self.plan.io_error_rate:
+            self.stats.io_faults_injected += 1
+            raise TransientIOError(
+                f"injected log-flush fault at lsn {target_lsn}")
+
+    def _lock_fault(self, tid: int, key, mode) -> bool:
+        if self._in_window(self.plan.lock_storm_window_ms) and \
+                self._rng_locks.random() < self.plan.lock_storm_rate:
+            self.stats.forced_lock_timeouts += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        state = ("crashed" if self.crashed
+                 else "attached" if self._attached else "detached")
+        return f"<FaultInjector {state} {self.stats!r}>"

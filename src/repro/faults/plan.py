@@ -1,0 +1,112 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` declares, up front, every fault a run will suffer:
+whole-system crashes (at a simulated time, at an LSN, or at the n-th
+physical page write), targeted process kills (the reorganizer mid-batch),
+transient page-I/O errors, and forced lock-timeout storms.  Everything is
+seed-driven — two runs with the same plan, workload and seeds inject the
+same faults at the same simulated instants, which is what makes the chaos
+sweeps (:mod:`repro.faults.chaos`) reproducible and bisectable.
+
+The plan is pure data; :class:`repro.faults.FaultInjector` threads it
+through the engine's hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+#: Active-window sentinel meaning "for the whole run".
+ALWAYS: Tuple[float, float] = (0.0, float("inf"))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject into one run.
+
+    Crash triggers (the first one to fire wins; the rest are disarmed):
+
+    * ``crash_at_ms`` — crash when the simulated clock reaches this time.
+    * ``crash_at_lsn`` — crash as soon as a log record with this LSN (or
+      beyond) is appended.
+    * ``crash_at_page_write`` — crash on the n-th *physical* page write,
+      counted as physical-kind log-record appends (OBJ_CREATE/OBJ_DELETE/
+      PAYLOAD_UPDATE/REF_UPDATE), which is the meaningful unit in the
+      paper's memory-resident setting.
+
+    Targeted kill (process-level, not system-level):
+
+    * ``kill_process_at_ms`` / ``kill_process_match`` — at the given
+      time, kill every live process whose name contains the substring
+      (default ``"reorg"``: the reorganization utility mid-batch).  The
+      rest of the system keeps running.
+
+    Transient page-I/O errors (buffer pool reads/writes and log flushes):
+
+    * ``io_error_rate`` — per-transfer failure probability, drawn from a
+      seeded RNG; failed transfers are retried with capped exponential
+      backoff by the buffer pool / log manager.
+    * ``io_error_window_ms`` — ``(start, end)`` of simulated time during
+      which the rate applies (default: the whole run).
+
+    Forced lock-timeout storms:
+
+    * ``lock_storm_rate`` — probability that a lock request which would
+      have to wait is instead failed immediately with a
+      :class:`~repro.concurrency.LockTimeoutError` (a deadlock-victim
+      storm).
+    * ``lock_storm_window_ms`` — active window, as above.
+
+    ``seed`` feeds every probabilistic draw; crash/kill triggers are not
+    probabilistic at all.
+    """
+
+    seed: int = 0
+    crash_at_ms: Optional[float] = None
+    crash_at_lsn: Optional[int] = None
+    crash_at_page_write: Optional[int] = None
+    kill_process_at_ms: Optional[float] = None
+    kill_process_match: str = "reorg"
+    io_error_rate: float = 0.0
+    io_error_window_ms: Tuple[float, float] = ALWAYS
+    lock_storm_rate: float = 0.0
+    lock_storm_window_ms: Tuple[float, float] = ALWAYS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.io_error_rate <= 1.0:
+            raise ValueError(f"io_error_rate={self.io_error_rate} not in [0, 1]")
+        if not 0.0 <= self.lock_storm_rate <= 1.0:
+            raise ValueError(
+                f"lock_storm_rate={self.lock_storm_rate} not in [0, 1]")
+        for name in ("crash_at_ms", "kill_process_at_ms"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name}={value} is negative")
+        for name in ("crash_at_lsn", "crash_at_page_write"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name}={value} must be >= 1")
+
+    @property
+    def wants_crash(self) -> bool:
+        return (self.crash_at_ms is not None
+                or self.crash_at_lsn is not None
+                or self.crash_at_page_write is not None)
+
+    def copy(self, **overrides) -> "FaultPlan":
+        return replace(self, **overrides)
+
+    # -- convenience constructors (the common chaos shapes) ------------------
+
+    @classmethod
+    def crash_at(cls, ms: float, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, crash_at_ms=ms)
+
+    @classmethod
+    def crash_at_write(cls, n: int, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, crash_at_page_write=n)
+
+    @classmethod
+    def kill_reorg_at(cls, ms: float, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, kill_process_at_ms=ms)

@@ -159,7 +159,7 @@ class Process:
     processes can join via ``yield Wait(process.done)``.
     """
 
-    __slots__ = ("sim", "name", "gen", "done", "_alive")
+    __slots__ = ("sim", "name", "gen", "done", "_alive", "_wait_cancel")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str):
         self.sim = sim
@@ -167,6 +167,9 @@ class Process:
         self.gen = gen
         self.done = Event(sim, name=f"done:{name}")
         self._alive = True
+        # Cancels the in-flight Wait registration, if any — a killed or
+        # finished process must not linger on an event's waiter list.
+        self._wait_cancel: Optional[Callable[[], None]] = None
 
     @property
     def alive(self) -> bool:
@@ -186,6 +189,10 @@ class Process:
         """
         if not self._alive:
             return
+        # Deregister from whatever event the process is blocked on *before*
+        # throwing: if the generator catches the kill and yields a new Wait,
+        # the old registration must not resurrect it later.
+        self._cancel_wait()
         self._step(throw=exc or ProcessKilled(f"process {self.name} killed"))
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
@@ -211,6 +218,7 @@ class Process:
     def _finish(self, value: Any = None, exc: Optional[BaseException] = None,
                 report: bool = True) -> None:
         self._alive = False
+        self._cancel_wait()
         self.sim._live_processes.discard(self)
         if exc is None:
             self.done.succeed(value)
@@ -232,6 +240,11 @@ class Process:
                 f"process {self.name} yielded unsupported command "
                 f"{command!r}; yield Delay(...), Wait(...) or an Event"))
 
+    def _cancel_wait(self) -> None:
+        if self._wait_cancel is not None:
+            cancel, self._wait_cancel = self._wait_cancel, None
+            cancel()
+
     def _wait(self, event: Event, timeout: Optional[float]) -> None:
         state = {"settled": False}
 
@@ -239,17 +252,27 @@ class Process:
             if state["settled"]:
                 return
             state["settled"] = True
+            self._wait_cancel = None
             if event.exception is not None:
                 self._step(throw=event.exception)
             else:
                 self._step(send=event._value)
 
+        def cancel() -> None:
+            # Called when the process dies while blocked here: drop the
+            # registration so the event never steps a dead generator and
+            # its waiter list does not accumulate stale entries.
+            state["settled"] = True
+            event._remove_waiter(resume)
+
         event._add_waiter(resume)
+        self._wait_cancel = cancel
         if timeout is not None:
             def on_timeout() -> None:
                 if state["settled"]:
                     return
                 state["settled"] = True
+                self._wait_cancel = None
                 event._remove_waiter(resume)
                 self._step(throw=WaitTimeout(
                     f"process {self.name} timed out waiting for {event!r}"))
@@ -342,6 +365,21 @@ class Simulator:
             proc.kill(exc)
         self._queue.clear()
         self._unhandled.clear()
+
+    def live_processes(self) -> list[Process]:
+        """The currently-alive processes (fault-injection introspection)."""
+        return sorted(self._live_processes, key=lambda p: p.name)
+
+    def kill_matching(self, name_substring: str,
+                      exc: Optional[BaseException] = None) -> int:
+        """Kill every live process whose name contains ``name_substring``
+        (targeted fault injection, e.g. killing a reorganizer mid-batch);
+        returns how many were killed."""
+        victims = [p for p in self.live_processes()
+                   if name_substring in p.name]
+        for proc in victims:
+            proc.kill(exc)
+        return len(victims)
 
     def __repr__(self) -> str:
         return (f"<Simulator t={self._now:.3f} queued={len(self._queue)} "

@@ -8,6 +8,7 @@ from .errors import (
     PartitionFullError,
     RefSlotError,
     StorageError,
+    TransientIOError,
 )
 from .objects import ObjectImage, payload_offset, ref_slot_offset
 from .oid import NULL_REF, Oid
@@ -30,6 +31,7 @@ __all__ = [
     "PartitionStats",
     "RefSlotError",
     "StorageError",
+    "TransientIOError",
     "payload_offset",
     "ref_slot_offset",
 ]

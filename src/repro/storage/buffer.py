@@ -16,22 +16,31 @@ eviction and checkpoints are sharp).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Generator, Optional, Set, Tuple
+from typing import Any, Callable, Generator, Optional, Set, Tuple
 
-from ..sim import Resource, Simulator
+from ..sim import Delay, Resource, Simulator
+from .errors import TransientIOError
 
 #: A page is identified by ``(partition_id, page_no)``.
 PageKey = Tuple[int, int]
 
+#: Fault-injection hook: called with ("read"|"write", page_key) before
+#: every disk transfer; raising :class:`TransientIOError` fails that
+#: attempt (the pool retries with capped exponential backoff).
+IOFaultHook = Callable[[str, PageKey], None]
+
 
 class BufferStats:
-    __slots__ = ("hits", "misses", "evictions", "writebacks")
+    __slots__ = ("hits", "misses", "evictions", "writebacks", "io_faults",
+                 "io_retries")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self.io_faults = 0
+        self.io_retries = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -47,7 +56,8 @@ class BufferPool:
     """An LRU page cache in front of a simulated data disk."""
 
     def __init__(self, sim: Simulator, data_disk: Resource,
-                 capacity_pages: int, read_ms: float, write_ms: float):
+                 capacity_pages: int, read_ms: float, write_ms: float,
+                 io_retry_limit: int = 4, io_retry_backoff_ms: float = 5.0):
         if capacity_pages < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.sim = sim
@@ -55,8 +65,28 @@ class BufferPool:
         self.capacity_pages = capacity_pages
         self.read_ms = read_ms
         self.write_ms = write_ms
+        self.io_retry_limit = io_retry_limit
+        self.io_retry_backoff_ms = io_retry_backoff_ms
+        self.fault_hook: Optional[IOFaultHook] = None
         self._frames: "OrderedDict[PageKey, bool]" = OrderedDict()  # -> dirty
         self.stats = BufferStats()
+
+    def _transfer(self, op: str, key: PageKey,
+                  cost_ms: float) -> Generator[Any, Any, None]:
+        """One disk transfer, retried on injected transient faults."""
+        for attempt in range(self.io_retry_limit + 1):
+            yield from self.data_disk.use(cost_ms)
+            if self.fault_hook is None:
+                return
+            try:
+                self.fault_hook(op, key)
+                return
+            except TransientIOError:
+                self.stats.io_faults += 1
+                if attempt >= self.io_retry_limit:
+                    raise
+                self.stats.io_retries += 1
+                yield Delay(self.io_retry_backoff_ms * (2 ** attempt))
 
     # -- the one operation that matters --------------------------------------
 
@@ -75,7 +105,7 @@ class BufferPool:
         self.stats.misses += 1
         while len(self._frames) >= self.capacity_pages:
             yield from self._evict_lru()
-        yield from self.data_disk.use(self.read_ms)
+        yield from self._transfer("read", key, self.read_ms)
         # Re-check: a concurrent fix of the same page may have completed
         # while this process waited on the disk.
         if key in self._frames:
@@ -92,7 +122,7 @@ class BufferPool:
         self.stats.evictions += 1
         if victim_dirty:
             self.stats.writebacks += 1
-            yield from self.data_disk.use(self.write_ms)
+            yield from self._transfer("write", victim, self.write_ms)
 
     # -- maintenance ------------------------------------------------------------
 
@@ -105,7 +135,7 @@ class BufferPool:
         written = 0
         for key, dirty in list(self._frames.items()):
             if dirty:
-                yield from self.data_disk.use(self.write_ms)
+                yield from self._transfer("write", key, self.write_ms)
                 self._frames[key] = False
                 written += 1
         self.stats.writebacks += written

@@ -27,3 +27,12 @@ class ObjectFormatError(StorageError):
 
 class RefSlotError(StorageError):
     """Raised on invalid reference-slot operations (bad index, no free slot)."""
+
+
+class TransientIOError(StorageError):
+    """A (simulated) device I/O failed but may succeed on retry.
+
+    Raised by the fault-injection hooks in the buffer pool and the log
+    manager; both retry with capped exponential backoff before letting
+    the error escalate to the caller.
+    """

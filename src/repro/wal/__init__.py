@@ -16,6 +16,7 @@ from .records import (
     ObjDeleteRecord,
     PayloadUpdateRecord,
     RefUpdateRecord,
+    ReorgProgressRecord,
     decode_record,
 )
 from .recovery import RecoveryManager, RecoveryStats
@@ -36,6 +37,7 @@ __all__ = [
     "RecoveryManager",
     "RecoveryStats",
     "RefUpdateRecord",
+    "ReorgProgressRecord",
     "SnapshotStore",
     "apply_record",
     "decode_record",

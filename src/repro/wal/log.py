@@ -19,9 +19,16 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Iterator, List, Optional
 
 from ..sim import Delay, Resource, Simulator
+from ..storage.errors import TransientIOError
 from .records import LogRecord, decode_record
 
 Subscriber = Callable[[LogRecord], None]
+
+#: Fault-injection hook: called with the flush-target LSN before the
+#: flush takes effect; raising :class:`TransientIOError` fails that disk
+#: write (the manager retries with capped exponential backoff while still
+#: holding the log disk).
+FlushFaultHook = Callable[[int], None]
 
 
 class LogManager:
@@ -31,14 +38,20 @@ class LogManager:
     """
 
     def __init__(self, sim: Simulator, log_disk: Resource,
-                 flush_time_ms: float):
+                 flush_time_ms: float,
+                 io_retry_limit: int = 4, io_retry_backoff_ms: float = 5.0):
         self.sim = sim
         self.log_disk = log_disk
         self.flush_time_ms = flush_time_ms
+        self.io_retry_limit = io_retry_limit
+        self.io_retry_backoff_ms = io_retry_backoff_ms
+        self.fault_hook: Optional[FlushFaultHook] = None
         self._encoded: List[bytes] = []   # the byte stream, by LSN - 1
         self._flushed_lsn = 0
         self._subscribers: List[Subscriber] = []
         self.flush_count = 0
+        self.io_faults = 0
+        self.io_retries = 0
 
     # -- append / read -------------------------------------------------------
 
@@ -86,7 +99,19 @@ class LogManager:
         try:
             if self._flushed_lsn >= target:
                 return  # piggybacked on the flush we just waited behind
-            yield Delay(self.flush_time_ms)
+            for attempt in range(self.io_retry_limit + 1):
+                yield Delay(self.flush_time_ms)
+                if self.fault_hook is None:
+                    break
+                try:
+                    self.fault_hook(target)
+                    break
+                except TransientIOError:
+                    self.io_faults += 1
+                    if attempt >= self.io_retry_limit:
+                        raise
+                    self.io_retries += 1
+                    yield Delay(self.io_retry_backoff_ms * (2 ** attempt))
             # Everything appended while we were queued rides along.
             self._flushed_lsn = len(self._encoded)
             self.flush_count += 1

@@ -34,6 +34,7 @@ KIND_PAYLOAD_UPDATE = 7
 KIND_REF_UPDATE = 8
 KIND_CLR = 9
 KIND_CHECKPOINT = 10
+KIND_REORG_PROGRESS = 11
 
 #: BEGIN flag: the transaction is a system transaction (reorganizer /
 #: utility).  The log analyzer maintains the ERT for system transactions
@@ -234,6 +235,33 @@ class CheckpointRecord(LogRecord):
         return dict(self.active_txns)
 
 
+@dataclass(frozen=True)
+class ReorgProgressRecord(LogRecord):
+    """Reorganizer progress checkpoint carried in the WAL (§4.4).
+
+    ``state`` is an encoded :class:`~repro.core.checkpointing.ReorgState`
+    (plan cursor, migrated-object map, TRT contents); an empty ``state``
+    is a tombstone marking the reorganization complete.  Logged with
+    ``tid == 0`` like CHECKPOINT records, so analysis never treats the
+    writer as a loser transaction and redo never replays it — only the
+    resume path reads these records back.
+    """
+
+    partition_id: int = 0
+    algorithm: str = ""
+    state: bytes = b""
+    kind: int = KIND_REORG_PROGRESS
+
+    @property
+    def is_tombstone(self) -> bool:
+        return not self.state
+
+    def _encode_body(self) -> bytes:
+        return (_U16.pack(self.partition_id)
+                + _pack_bytes(self.algorithm.encode("utf-8"))
+                + _pack_bytes(self.state))
+
+
 def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
     """Decode one encoded record (inverse of ``LogRecord.encode``)."""
     (kind,) = _U8.unpack_from(data, 0)
@@ -299,6 +327,15 @@ def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
             actives.append((txn_tid, last_lsn))
         record = CheckpointRecord(tid, prev_lsn, snapshot_id=snapshot_id,
                                   active_txns=tuple(actives))
+    elif kind == KIND_REORG_PROGRESS:
+        (partition_id,) = _U16.unpack_from(data, offset)
+        offset += _U16.size
+        algorithm, offset = _unpack_bytes(data, offset)
+        state, offset = _unpack_bytes(data, offset)
+        record = ReorgProgressRecord(tid, prev_lsn,
+                                     partition_id=partition_id,
+                                     algorithm=algorithm.decode("utf-8"),
+                                     state=state)
     else:
         raise ValueError(f"unknown log record kind {kind}")
     return record.with_lsn(lsn)

@@ -93,6 +93,12 @@ class WorkloadDriver:
                 proc.result.duration_ms for proc in reorg_procs)
         metrics.lock_waits = self.engine.locks.stats.waits
         metrics.lock_timeouts = self.engine.locks.stats.timeouts
+        metrics.forced_lock_timeouts = self.engine.locks.stats.forced_timeouts
+        metrics.io_faults = self.engine.log.io_faults
+        metrics.io_retries = self.engine.log.io_retries
+        if self.engine.buffer is not None:
+            metrics.io_faults += self.engine.buffer.stats.io_faults
+            metrics.io_retries += self.engine.buffer.stats.io_retries
         metrics.cpu_utilization = self.engine.cpu.utilization(
             horizon=metrics.window_ms or None)
         return metrics

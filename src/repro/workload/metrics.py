@@ -45,12 +45,34 @@ class ExperimentMetrics:
     cpu_utilization: float = 0.0
     lock_waits: int = 0
     lock_timeouts: int = 0
+    #: Lock timeouts the fault injector forced (lock-timeout storms) —
+    #: a subset of ``lock_timeouts``.
+    forced_lock_timeouts: int = 0
+    #: Transient I/O errors injected (buffer pool + log flush) and the
+    #: retries they cost.
+    io_faults: int = 0
+    io_retries: int = 0
 
     # -- derived metrics -------------------------------------------------------
 
     @property
     def completed(self) -> int:
         return len(self.records)
+
+    @property
+    def total_retries(self) -> int:
+        """Timeout-abort retries summed over all logical transactions."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def reorg_deadlock_retries(self) -> int:
+        stats = self.reorg_stats
+        return getattr(stats, "deadlock_retries", 0) if stats else 0
+
+    @property
+    def reorg_backoff_ms(self) -> float:
+        stats = self.reorg_stats
+        return getattr(stats, "backoff_ms_total", 0.0) if stats else 0.0
 
     @property
     def throughput_tps(self) -> float:
@@ -101,6 +123,12 @@ class ExperimentMetrics:
             "throughput_tps": round(self.throughput_tps, 2),
             "completed": self.completed,
             "aborts": self.aborts,
+            "retries": self.total_retries,
+            "reorg_deadlock_retries": self.reorg_deadlock_retries,
+            "reorg_backoff_ms": round(self.reorg_backoff_ms, 1),
+            "lock_timeouts": self.lock_timeouts,
+            "forced_lock_timeouts": self.forced_lock_timeouts,
+            "io_faults": self.io_faults,
             "avg_response_ms": round(self.avg_response_ms, 1),
             "max_response_ms": round(self.max_response_ms, 1),
             "std_response_ms": round(self.std_response_ms, 1),

@@ -86,9 +86,23 @@ def test_no_checkpoint_means_fresh_restart():
     assert db.verify_integrity().ok
 
 
-def test_committed_migrations_recovered_from_log():
+def test_completed_run_clears_checkpoint_store():
+    """A finished reorganization tombstones its checkpoints: a later crash
+    must not trigger a spurious resume of already-completed work."""
     image, state_store, migrated_before = crash_mid_reorg(
-        "ira", crash_at_ms=9000.0)
+        "ira", crash_at_ms=14000.0)
+    assert migrated_before == 340  # the run finished before the crash
+    assert state_store.load() is None
+    db = Database.recover(image)
+    assert resume_reorganization(db.engine, state_store) is None
+    assert db.verify_integrity().ok
+
+
+def test_committed_migrations_recovered_from_log():
+    # Crash while migrations are still in flight: a post-completion crash
+    # finds a cleared store (run() tombstones it) and nothing to resume.
+    image, state_store, migrated_before = crash_mid_reorg(
+        "ira", crash_at_ms=5000.0)
     db = Database.recover(image)
     state = state_store.load()
     recovered = committed_migrations_from_log(db.engine, 1, state.log_lsn)
@@ -125,7 +139,7 @@ def test_rebuild_trt_matches_live_trt():
 
 
 def test_resume_restores_relocation_floor():
-    image, state_store, _ = crash_mid_reorg("ira", crash_at_ms=9000.0)
+    image, state_store, _ = crash_mid_reorg("ira", crash_at_ms=5000.0)
     db = Database.recover(image)
     state = state_store.load()
     resumed = resume_reorganization(db.engine, state_store,

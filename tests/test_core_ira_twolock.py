@@ -125,3 +125,52 @@ def test_two_lock_self_reference():
     new = stats.mapping[oid]
     assert db.store.read_object(new).children() == [new]
     assert db.verify_integrity().ok
+
+
+def test_reconciled_copy_image_merges_both_sides():
+    """Regression: a copy reused after a deadlock abort or a crash must be
+    refreshed with the updates committed through *either* address while
+    the migration's locks were released, or those updates are lost."""
+    from repro.core.ira_twolock import reconciled_copy_image
+
+    db, _ = Database.with_workload(
+        WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                       mpl=2, seed=21))
+    engine = db.engine
+    old = next(iter(engine.store.partition(1).live_oids()))
+
+    def setup_self_ref():
+        txn = engine.txns.begin(system=True)
+        yield from txn.insert_ref(old, old)
+        yield from txn.commit()
+    db.run(setup_self_ref())
+
+    def make_copy():
+        txn = engine.txns.begin(system=True, reorg_partition=1)
+        image = engine.store.read_object(old)
+        new_oid = yield from txn.create_object(1, image, fresh_only=True,
+                                               cpu_ms=0)
+        yield from txn.commit()
+        return new_oid
+    new = db.run(make_copy())
+
+    # The unlocked window: one transaction commits a poke to the old
+    # location, another to the copy (reachable once a parent had been
+    # patched to the new address).
+    def poke(oid, offset, data):
+        txn = engine.txns.begin()
+        yield from txn.write_payload(oid, offset, data)
+        yield from txn.commit()
+    db.run(poke(old, 0, b"OLD!"))
+    db.run(poke(new, 8, b"NEW!"))
+
+    merged = reconciled_copy_image(engine, 1, old, new)
+    want = bytearray(engine.store.read_object(old).payload)
+    want[8:12] = b"NEW!"
+    assert merged.payload == bytes(want)
+    # The self-reference is translated to the new address.
+    self_slot = engine.store.read_object(old).slots_referencing(old)[0]
+    assert merged.get_ref(self_slot) == new
+    # The stale copy differs in both regards: reusing it as-is would
+    # lose the old-side poke.
+    assert engine.store.read_object(new) != merged

@@ -1,0 +1,65 @@
+"""Chaos-harness smoke tests: crash / recover / resume cycles.
+
+The full 50-point acceptance sweep runs from the CLI
+(``python -m repro chaos``); these tests keep a small always-on sweep in
+the tier-1 suite so the crash-resume path cannot silently rot.
+"""
+
+from repro import CompactionPlan, Database, ReorgConfig, WorkloadConfig
+from repro.faults import (
+    chaos_sweep,
+    graph_signature,
+    probe_run_window,
+    run_chaos_point,
+)
+
+SMOKE_WORKLOAD = WorkloadConfig(num_partitions=2, objects_per_partition=170,
+                                mpl=2, seed=13)
+SMOKE_REORG = ReorgConfig(checkpoint_every=10)
+
+
+def test_probe_window_is_deterministic():
+    first = probe_run_window("ira", SMOKE_WORKLOAD, SMOKE_REORG)
+    second = probe_run_window("ira", SMOKE_WORKLOAD, SMOKE_REORG)
+    assert first == second
+    start, end = first
+    assert 0 <= start < end
+
+
+def test_graph_signature_invariant_under_reorg():
+    db, _ = Database.with_workload(SMOKE_WORKLOAD)
+    before = graph_signature(db.engine)
+    db.reorganize(1, algorithm="ira", plan=CompactionPlan())
+    assert graph_signature(db.engine) == before
+
+
+def test_chaos_smoke_sweep_ira():
+    report = chaos_sweep(points=3, algorithm="ira", workload=SMOKE_WORKLOAD,
+                         reorg_config=SMOKE_REORG, seed=13)
+    assert len(report.points) == 3
+    assert report.all_ok, [p.describe() for p in report.failures]
+    # At least one point must prove the §4.4 payoff: real pre-crash
+    # progress kept, nothing migrated twice.
+    assert report.resume_demonstrated
+
+
+def test_chaos_point_two_lock_variant():
+    start, end = probe_run_window("ira-2lock", SMOKE_WORKLOAD, SMOKE_REORG)
+    result = run_chaos_point((start + end) / 2, algorithm="ira-2lock",
+                             workload=SMOKE_WORKLOAD,
+                             reorg_config=SMOKE_REORG, seed=13)
+    assert result.ok, result.describe()
+    assert result.crashed and result.recovered
+
+
+def test_crash_without_checkpoints_restarts_fresh():
+    no_checkpoints = ReorgConfig(checkpoint_every=0)
+    start, end = probe_run_window("ira", SMOKE_WORKLOAD, no_checkpoints)
+    result = run_chaos_point((start + end) / 2, algorithm="ira",
+                             workload=SMOKE_WORKLOAD,
+                             reorg_config=no_checkpoints, seed=13)
+    assert result.ok, result.describe()
+    assert not result.resumed
+    assert not result.completed_before_crash
+    # The fresh restart migrated the whole partition again.
+    assert result.migrated_by_resume == 170

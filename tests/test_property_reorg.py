@@ -112,6 +112,27 @@ def test_crash_recovery_of_arbitrary_graphs(description):
     assert recovered.verify_integrity().ok
 
 
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph_descriptions,
+       st.sampled_from(["pqr", "offline"]),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_crash_during_reorg_recovers_cleanly(description, algorithm, frac):
+    """Crashing PQR or offline reorganization at an arbitrary point must
+    leave a recoverable database with the original logical graph: the
+    in-flight migration is undone, committed ones are kept."""
+    db, _ = build_graph(description)
+    before = signature(db)
+    reorg = db.reorganizer(1, algorithm, plan=CompactionPlan())
+    db.sim.spawn(reorg.run(), name="reorganizer")
+    crash_at = db.sim.now + 1.0 + frac * 2000.0
+    db.sim.run(until=crash_at)
+    recovered = Database.recover(db.crash())
+    report = recovered.verify_integrity()
+    assert report.ok, report.problems()[:5]
+    assert signature(recovered) == before
+
+
 @settings(max_examples=20, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(graph_descriptions)

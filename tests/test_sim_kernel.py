@@ -319,3 +319,69 @@ def test_many_processes_interleave_deterministically():
         return trace
 
     assert run_once() == run_once()
+
+
+# -- fault-injection introspection: stale waiters, targeted kills -------------------
+
+
+def test_killed_waiter_leaves_no_stale_entry_on_event():
+    sim = Simulator()
+    event = sim.event("gate")
+
+    def waiter():
+        yield Wait(event)
+
+    proc = sim.spawn(waiter())
+    sim.run(until=1)
+    assert len(event._waiters) == 1
+    proc.kill()
+    assert event._waiters == []
+    event.succeed("late")  # must not step the dead generator
+
+
+def test_timed_out_waiter_leaves_no_stale_entry_on_event():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        try:
+            yield Wait(event, timeout=2.0)
+        except WaitTimeout:
+            pass
+        yield Delay(100)
+
+    sim.spawn(waiter())
+    sim.run(until=50)
+    assert event._waiters == []
+
+
+def test_kill_all_clears_event_waiters():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        yield Wait(event)
+
+    for _ in range(3):
+        sim.spawn(waiter())
+    sim.run(until=1)
+    assert len(event._waiters) == 3
+    sim.kill_all()
+    assert event._waiters == []
+
+
+def test_live_processes_and_kill_matching():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(100)
+
+    sim.spawn(proc(), name="reorg-1")
+    sim.spawn(proc(), name="reorg-2")
+    sim.spawn(proc(), name="thread-1")
+    sim.run(until=1)
+    assert [p.name for p in sim.live_processes()] == \
+        ["reorg-1", "reorg-2", "thread-1"]
+    assert sim.kill_matching("reorg") == 2
+    assert [p.name for p in sim.live_processes()] == ["thread-1"]
+    assert sim.kill_matching("reorg") == 0
