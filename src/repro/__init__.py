@@ -42,7 +42,7 @@ from .core import (
 from .core import WalReorgStateStore, resume_from_wal
 from .database import Database
 from .engine import CrashImage, IntegrityReport, StorageEngine
-from .faults import FaultInjector, FaultPlan, chaos_sweep
+from .faults import FaultInjector, FaultPlan, chaos_sweep, corruption_sweep
 from .errors import (
     EngineError,
     ReferenceProtocolError,
@@ -50,7 +50,9 @@ from .errors import (
     TransactionStateError,
 )
 from .concurrency import LockMode, LockTimeoutError
-from .storage import ObjectImage, Oid
+from .storage import CorruptionError, ObjectImage, Oid
+from .storage.scrub import Scrubber, ScrubStats
+from .verify import VerifyReport, deep_verify
 from .workload import (
     ExperimentMetrics,
     GraphLayout,
@@ -64,6 +66,7 @@ __all__ = [
     "ClusteringPlan",
     "CompactionPlan",
     "CopyingGarbageCollector",
+    "CorruptionError",
     "CrashImage",
     "Database",
     "EngineError",
@@ -89,15 +92,20 @@ __all__ = [
     "ReorgConfig",
     "ReorgStats",
     "ReorganizationError",
+    "ScrubStats",
+    "Scrubber",
     "StorageEngine",
     "SystemConfig",
     "TransactionStateError",
     "TwoLockReorganizer",
+    "VerifyReport",
     "WalReorgStateStore",
     "WorkloadConfig",
     "WorkloadDriver",
     "build_database",
     "chaos_sweep",
+    "corruption_sweep",
+    "deep_verify",
     "resume_from_wal",
     "__version__",
 ]

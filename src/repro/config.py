@@ -54,6 +54,14 @@ class SystemConfig:
     io_retry_limit: int = 4
     io_retry_backoff_ms: float = 5.0
 
+    # Corruption defense.  Pages always carry checksums; these knobs
+    # control *when* they are re-verified: on every buffer-pool miss
+    # read (disk-resident setting), and by the background scrubber
+    # (:class:`repro.storage.scrub.Scrubber`; 0 = no scrubbing).
+    verify_page_reads: bool = True
+    scrub_interval_ms: float = 0.0
+    scrub_pages_per_sweep: int = 8
+
     def copy(self, **overrides) -> "SystemConfig":
         return replace(self, **overrides)
 

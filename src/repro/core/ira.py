@@ -299,6 +299,16 @@ class IncrementalReorganizer:
                      bookkeeping: List[tuple]) -> Generator[Any, Any, Oid]:
         engine = self.engine
         cfg = engine.config
+        # Write-lock the object itself before copying its image (the §4.2
+        # variant already does).  With a single reorganizer the parent
+        # locks suffice — every user access traverses a locked parent —
+        # but a *concurrent* reorganization of another partition patches
+        # this object's reference slots directly, holding it as a locked
+        # parent; copying an unlocked image could resurrect a just-patched
+        # stale reference in the new location.
+        yield from self._lock_for_reorg(txn, oid)
+        if not engine.store.exists(oid):
+            return oid  # deleted while we waited for the lock
         image = engine.store.read_object(oid)
         if self.transform is not None:
             original_refs = [ref for _, ref in image.refs()]

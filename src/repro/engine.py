@@ -35,10 +35,11 @@ class CrashImage:
     """What survives a simulated system failure.
 
     The database is memory-resident (paper §5.3); a crash leaves behind
-    only the flushed log prefix and the checkpoint snapshots.
+    only the flushed log prefix — a CRC-framed byte stream that may end
+    in a torn record — and the checkpoint snapshots.
     """
 
-    durable_log: List[bytes]
+    durable_log: bytes
     snapshots: SnapshotStore
     config: SystemConfig
 
@@ -104,6 +105,42 @@ class StorageEngine:
         #: Set by :meth:`repro.faults.FaultInjector.attach`; ``crash()``
         #: detaches it so a recovered engine starts fault-free.
         self.injector = None
+        #: True once the store holds content that never went through the
+        #: WAL (the §5.2 bulk load).  Recorded in every checkpoint so
+        #: single-page repair knows when log replay alone cannot rebuild
+        #: a page from scratch.
+        self.unlogged_base = False
+        #: Called with ``(payload, snapshot_id, lsn)`` after every
+        #: checkpoint; the fault injector uses it to corrupt just-written
+        #: snapshot pages (torn checkpoint writes).
+        self.checkpoint_hook = None
+        self._wire_read_verification()
+
+    def _wire_read_verification(self) -> None:
+        if self.buffer is not None and self.config.verify_page_reads:
+            self.buffer.verify_hook = self._verify_page_read
+
+    def _verify_page_read(self, key) -> None:
+        """Checksum-verify a page as the buffer pool reads it in."""
+        partition_id, page_no = key
+        if not self.store.has_partition(partition_id):
+            return
+        partition = self.store.partition(partition_id)
+        if page_no in partition._pages:
+            partition.page(page_no).verify()
+
+    def spawn_scrubber(self):
+        """Start the background checksum scrubber configured by
+        ``scrub_interval_ms`` (no-op when disabled); returns the
+        :class:`~repro.storage.scrub.Scrubber` or ``None``."""
+        if self.config.scrub_interval_ms <= 0:
+            return None
+        from .storage.scrub import Scrubber
+        scrubber = Scrubber(
+            self, interval_ms=self.config.scrub_interval_ms,
+            pages_per_sweep=self.config.scrub_pages_per_sweep)
+        self.sim.spawn(scrubber.run(), name="scrubber")
+        return scrubber
 
     # -- partitions & reference tables ------------------------------------------
 
@@ -152,6 +189,7 @@ class StorageEngine:
             "store": self.store.snapshot(),
             "erts": {pid: ert.snapshot() for pid, ert in self._erts.items()},
             "next_tid": self.txns._next_tid,
+            "unlogged_base": self.unlogged_base,
         }
         snapshot_id = self.snapshots.save(payload)
         active = tuple(
@@ -160,6 +198,8 @@ class StorageEngine:
         lsn = self.log.append(CheckpointRecord(
             0, 0, snapshot_id=snapshot_id, active_txns=active))
         self.log.flush_now()
+        if self.checkpoint_hook is not None:
+            self.checkpoint_hook(payload, snapshot_id, lsn)
         return lsn
 
     def crash(self) -> CrashImage:
@@ -244,6 +284,10 @@ class StorageEngine:
             max_tid = max(max_tid, record.tid)
         base_tid = (checkpoint_payload or {}).get("next_tid", 1)
         engine.txns.set_next_tid(max(max_tid + 1, base_tid))
+        engine.unlogged_base = bool(
+            (checkpoint_payload or {}).get("unlogged_base", False))
+        engine.checkpoint_hook = None
+        engine._wire_read_verification()
         return engine
 
     # -- integrity -----------------------------------------------------------------------

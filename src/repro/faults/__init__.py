@@ -7,13 +7,18 @@
   fault hooks.
 * :mod:`repro.faults.chaos` — the crash-point sweep harness asserting
   integrity, graph isomorphism and no-re-migration after every
-  crash/recover/resume cycle.
+  crash/recover/resume cycle, plus the silent-corruption dimension
+  (:func:`~repro.faults.chaos.corruption_sweep`): torn checkpoint page
+  writes, durable bit flips and torn log tails, with zero-silent-
+  corruption accounting.
 """
 
 from .chaos import (
+    CORRUPTION_KINDS,
     ChaosPointResult,
     ChaosReport,
     chaos_sweep,
+    corruption_sweep,
     count_remigrations,
     graph_signature,
     probe_run_window,
@@ -24,12 +29,14 @@ from .plan import ALWAYS, FaultPlan
 
 __all__ = [
     "ALWAYS",
+    "CORRUPTION_KINDS",
     "ChaosPointResult",
     "ChaosReport",
     "FaultInjector",
     "FaultPlan",
     "InjectorStats",
     "chaos_sweep",
+    "corruption_sweep",
     "count_remigrations",
     "graph_signature",
     "probe_run_window",

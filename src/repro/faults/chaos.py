@@ -18,6 +18,17 @@ The isomorphism check compares *recovered-before-resume* against
 *after-resume*: the pre-crash graph is not a valid reference because
 concurrent user transactions commit payload pokes and glue-edge re-points
 right up to the crash, and in-flight ones are undone by recovery.
+
+The sweep also has a **silent-corruption dimension**
+(:func:`corruption_sweep`): each point additionally injects one silent
+corruption — a torn checkpoint page write, a flipped bit in the latest
+durable snapshot, or a torn log tail — under a mid-run checkpointer, and
+the accounting demands that *every* injected corruption is either
+detected-and-repaired (then the healed state must equal a
+corruption-free twin run's recovery, byte-for-graph) or refused loudly
+with a typed :class:`~repro.storage.errors.CorruptionError`.  Nothing in
+between: a point where injected corruption goes unnoticed is a
+``silent_corruption`` failure.
 """
 
 from __future__ import annotations
@@ -29,7 +40,10 @@ from ..config import ExperimentConfig, ReorgConfig, WorkloadConfig
 from ..core import CompactionPlan, WalReorgStateStore, resume_reorganization
 from ..core.ira_twolock import reconciled_copy_image
 from ..database import Database
+from ..sim import Delay
+from ..storage.errors import CorruptionError
 from ..storage.oid import Oid
+from ..verify import corrupt_snapshot_pages, deep_verify
 from ..wal.records import BeginRecord, CommitRecord, ObjDeleteRecord
 from ..workload import WorkloadDriver
 from ..workload.metrics import ExperimentMetrics
@@ -43,6 +57,47 @@ DEFAULT_WORKLOAD = WorkloadConfig(num_partitions=2,
                                   mpl=4, seed=13)
 DEFAULT_REORG = ReorgConfig(checkpoint_every=20)
 REORG_PARTITION = 1
+
+#: Corruption kinds :func:`corruption_sweep` cycles across its points.
+#: (Live-memory bit flips are exercised by dedicated scrubber tests, not
+#: the sweep: flipping a live object's bytes perturbs the concurrent
+#: workload itself, which would invalidate the twin-run comparison.)
+CORRUPTION_KINDS = ("torn_page", "bit_flip", "torn_log_tail")
+
+#: Mid-run checkpoint cadence as a fraction of launch-to-crash time:
+#: 0.26 puts exactly three checkpoints before the crash (at 26%, 52% and
+#: 78% of the gap), so tearing the third corrupts the checkpoint
+#: recovery restores from, with the second as the repair base.
+_CKPT_FRACTION = 0.26
+
+
+def _corruption_plan(kind: str, crash_at_ms: float, gap_ms: float,
+                     seed: int) -> FaultPlan:
+    """The fault plan for one corruption-sweep point.
+
+    ``gap_ms`` is launch-to-crash simulated time; the bit flip lands at
+    98% of it — after the last mid-run checkpoint, so it hits the very
+    snapshot recovery will restore from.
+    """
+    if kind == "torn_page":
+        return FaultPlan.tear_checkpoint(3, crash_at_ms, seed=seed)
+    if kind == "bit_flip":
+        return FaultPlan.bit_flip_then_crash(
+            crash_at_ms - 0.02 * gap_ms, crash_at_ms, seed=seed)
+    if kind == "torn_log_tail":
+        return FaultPlan.crash_with_torn_tail(crash_at_ms, seed=seed)
+    raise ValueError(
+        f"unknown corruption kind {kind!r}; choose from {CORRUPTION_KINDS}")
+
+
+def _corruption_checkpoint_interval(kind: str,
+                                    gap_ms: float) -> Optional[float]:
+    """Mid-run checkpointer cadence a corruption kind needs (page-image
+    corruption needs checkpoints to corrupt and older ones to repair
+    from; a torn log tail needs none)."""
+    if kind in ("torn_page", "bit_flip"):
+        return gap_ms * _CKPT_FRACTION
+    return None
 
 
 def graph_signature(engine,
@@ -130,21 +185,51 @@ class ChaosPointResult:
     migrated_before_crash: int = 0
     migrated_by_resume: int = 0
     remigrations: int = 0
+    #: Corruption dimension (set only by corruption points).
+    corruption: Optional[str] = None
+    corruptions_injected: int = 0
+    #: Detection or repair accounted for every injected corruption.
+    corruption_detected: bool = False
+    pages_repaired: int = 0
+    pages_rebuilt: int = 0
+    log_tail_truncated: bool = False
+    #: Recovery refused loudly with a typed :class:`CorruptionError`
+    #: instead of healing — acceptable, never silent.
+    loud_failure: Optional[str] = None
+    #: The healed recovery state matched the corruption-free twin run's.
+    healed_matches_clean: bool = False
+    #: Recovered-state graph signature (twin comparison handle).
+    recovered_signature: Optional[Tuple] = field(default=None, repr=False)
     problems: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.problems
 
+    @property
+    def silent_corruption(self) -> bool:
+        """Injected corruption that neither detection/repair nor a loud
+        typed failure accounted for — the outcome the checksums exist to
+        rule out."""
+        return (self.corruptions_injected > 0 and self.loud_failure is None
+                and not self.corruption_detected)
+
     def describe(self) -> str:
         status = "ok" if self.ok else "FAIL " + "; ".join(self.problems)
         mode = ("resumed" if self.resumed
                 else "done-pre-crash" if self.completed_before_crash
                 else "fresh-restart")
+        corrupt = ""
+        if self.corruption is not None:
+            outcome = ("LOUD" if self.loud_failure
+                       else "healed" if self.corruption_detected
+                       else "SILENT" if self.silent_corruption
+                       else "none")
+            corrupt = f" {self.corruption}:{outcome}"
         return (f"crash@{self.crash_at_ms:9.1f}ms {mode:>14} "
                 f"pre={self.migrated_before_crash:3d} "
                 f"post={self.migrated_by_resume:3d} "
-                f"remigr={self.remigrations} {status}")
+                f"remigr={self.remigrations}{corrupt} {status}")
 
 
 @dataclass
@@ -170,8 +255,24 @@ class ChaosReport:
         return any(p.resumed and p.migrated_before_crash > 0
                    and p.remigrations == 0 and p.ok for p in self.points)
 
+    @property
+    def corruption_points(self) -> List[ChaosPointResult]:
+        return [p for p in self.points if p.corruption is not None]
+
+    @property
+    def silent_corruptions(self) -> List[ChaosPointResult]:
+        return [p for p in self.corruption_points if p.silent_corruption]
+
+    @property
+    def no_silent_corruption(self) -> bool:
+        """Every injected corruption was repaired-and-verified or failed
+        loudly with a typed error — the sweep's hard gate."""
+        points = self.corruption_points
+        return bool(points) and all(
+            p.ok and not p.silent_corruption for p in points)
+
     def summary(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "algorithm": self.algorithm,
             "seed": self.seed,
             "points": len(self.points),
@@ -180,21 +281,63 @@ class ChaosReport:
             "resume_demonstrated": self.resume_demonstrated,
             "all_ok": self.all_ok,
         }
+        corruption = self.corruption_points
+        if corruption:
+            data.update({
+                "corruption_points": len(corruption),
+                "corruptions_injected": sum(p.corruptions_injected
+                                            for p in corruption),
+                "pages_repaired": sum(p.pages_repaired for p in corruption),
+                "pages_rebuilt": sum(p.pages_rebuilt for p in corruption),
+                "log_tails_truncated": sum(1 for p in corruption
+                                           if p.log_tail_truncated),
+                "loud_failures": sum(1 for p in corruption
+                                     if p.loud_failure),
+                "silent_corruptions": len(self.silent_corruptions),
+                "no_silent_corruption": self.no_silent_corruption,
+            })
+        return data
 
 
 def _launch(algorithm: str, workload: WorkloadConfig,
             reorg_config: ReorgConfig,
-            fault_plan: Optional[FaultPlan]):
-    """Fresh database + reorganizer + MPL threads (+ optional injector)."""
+            fault_plan: Optional[FaultPlan],
+            corruption: Optional[str] = None,
+            corruption_timing: Optional[str] = None,
+            crash_at_ms: Optional[float] = None,
+            seed: int = 0):
+    """Fresh database + reorganizer + MPL threads (+ optional injector).
+
+    ``corruption`` finalizes a gap-relative corruption plan (the sim
+    clock is already past the bulk load here, so "98% of the way to the
+    crash" can only be computed now).  ``corruption_timing`` spawns the
+    mid-run checkpointer a corruption kind's timeline needs *without*
+    injecting anything — the corruption-free twin run passes the kind
+    here so both runs replay the identical timeline.
+    """
     db, layout = Database.with_workload(workload)
     engine = db.engine
+    plan = fault_plan
+    if corruption is not None:
+        plan = _corruption_plan(corruption, crash_at_ms,
+                                crash_at_ms - db.sim.now, seed)
+    timing = corruption_timing or corruption
+    if timing is not None:
+        interval = _corruption_checkpoint_interval(
+            timing, crash_at_ms - db.sim.now)
+        if interval:
+            def checkpointer():
+                while True:
+                    yield Delay(interval)
+                    engine.take_checkpoint()
+            db.sim.spawn(checkpointer(), name="checkpointer")
     store = WalReorgStateStore(engine, REORG_PARTITION)
     reorg = db.reorganizer(REORG_PARTITION, algorithm,
                            plan=CompactionPlan(),
                            reorg_config=reorg_config, state_store=store)
     injector = None
-    if fault_plan is not None:
-        injector = FaultInjector(fault_plan, engine).attach()
+    if plan is not None:
+        injector = FaultInjector(plan, engine).attach()
     driver = WorkloadDriver(engine, layout, ExperimentConfig(workload=workload))
     metrics = ExperimentMetrics(algorithm, workload.mpl)
     reorg_proc = db.sim.spawn(reorg.run(), name="reorganizer")
@@ -228,25 +371,94 @@ def probe_run_window(algorithm: str = "ira",
 def run_chaos_point(crash_at_ms: float, algorithm: str = "ira",
                     workload: Optional[WorkloadConfig] = None,
                     reorg_config: Optional[ReorgConfig] = None,
-                    seed: int = 0) -> ChaosPointResult:
-    """One crash/recover/resume cycle; see the module docstring."""
+                    seed: int = 0,
+                    corruption: Optional[str] = None,
+                    _twin_timing: Optional[str] = None,
+                    _recovery_only: bool = False) -> ChaosPointResult:
+    """One crash/recover/resume cycle; see the module docstring.
+
+    With ``corruption`` set, the point additionally injects that silent
+    corruption kind, accounts for its detection and repair, and checks
+    the healed recovery against a corruption-free twin of the same
+    timeline.  (``_twin_timing``/``_recovery_only`` are the twin-run
+    plumbing: replay a kind's checkpointer cadence without injecting,
+    and stop once the recovered state's signature is known.)
+    """
     workload = workload or DEFAULT_WORKLOAD
     reorg_config = reorg_config or DEFAULT_REORG
-    result = ChaosPointResult(crash_at_ms=crash_at_ms)
+    result = ChaosPointResult(crash_at_ms=crash_at_ms, corruption=corruption)
 
-    plan = FaultPlan.crash_at(crash_at_ms, seed=seed)
+    plan = (None if corruption is not None
+            else FaultPlan.crash_at(crash_at_ms, seed=seed))
     db, reorg, reorg_proc, injector = _launch(
-        algorithm, workload, reorg_config, plan)
+        algorithm, workload, reorg_config, plan,
+        corruption=corruption, corruption_timing=_twin_timing,
+        crash_at_ms=crash_at_ms, seed=seed)
     db.sim.run(until=crash_at_ms + 1.0)
     if not injector.crashed:
         result.problems.append("crash trigger never fired")
         return result
     result.crashed = True
     result.migrated_before_crash = reorg.stats.objects_migrated
+    result.corruptions_injected = injector.stats.corruptions_injected
+    injected_pages = {(pid, page_no)
+                      for _kind, pid, page_no in injector.stats.corruptions
+                      if page_no >= 0}
+    injected_tail = any(kind == "torn_log_tail"
+                        for kind, _, _ in injector.stats.corruptions)
+    if corruption is not None and result.corruptions_injected == 0:
+        result.problems.append(
+            f"corruption point injected nothing ({corruption})")
 
-    recovered = Database.recover(injector.crash_image)
+    try:
+        recovered = Database.recover(injector.crash_image)
+    except CorruptionError as exc:
+        result.loud_failure = f"{type(exc).__name__}: {exc}"
+        if result.corruptions_injected == 0:
+            # A loud refusal is only acceptable as the answer to an
+            # injected corruption; on a clean image it is a plain bug.
+            result.problems.append(
+                f"recovery failed loudly without injected corruption: "
+                f"{result.loud_failure}")
+        return result
     engine = recovered.engine
     result.recovered = True
+
+    stats = engine.recovery_stats
+    result.pages_repaired = stats.pages_repaired
+    result.pages_rebuilt = stats.pages_rebuilt_from_empty
+    result.log_tail_truncated = stats.log_tail_truncated
+    repaired = set(stats.repaired_pages)
+    leftover = {(pid, page_no)
+                for _sid, pid, page_no in corrupt_snapshot_pages(engine)}
+    if corruption is None:
+        # A corruption-free run must neither detect nor repair anything:
+        # any hit here is corruption leaking in from a bug, not a fault.
+        if stats.pages_corrupt or stats.log_tail_truncated or leftover:
+            result.problems.append(
+                f"corruption detected in a corruption-free run: "
+                f"repaired={sorted(repaired)} leftover={sorted(leftover)} "
+                f"tail_truncated={stats.log_tail_truncated}")
+    else:
+        # Every injected corruption must be accounted for: repaired
+        # during recovery, or still sitting detectably in a superseded
+        # snapshot — and nothing beyond the injected set may be corrupt.
+        unexpected = (leftover | repaired) - injected_pages
+        if unexpected:
+            result.problems.append(
+                f"corrupt/repaired pages beyond the injected set: "
+                f"{sorted(unexpected)}")
+        undetected = injected_pages - (repaired | leftover)
+        if undetected:
+            result.problems.append(
+                f"injected page corruption went undetected: "
+                f"{sorted(undetected)}")
+        if injected_tail and not stats.log_tail_truncated:
+            result.problems.append("injected torn log tail not truncated")
+        result.corruption_detected = (
+            bool(injected_pages & (repaired | leftover))
+            or (injected_tail and stats.log_tail_truncated))
+
     report = engine.verify_integrity()
     result.integrity_after_recovery = report.ok
     if not report.ok:
@@ -266,6 +478,26 @@ def run_chaos_point(crash_at_ms: float, algorithm: str = "ira",
         if engine.store.exists(old) and engine.store.exists(new):
             mixed_pair = (old, new)
     reference_signature = graph_signature(engine, collapse=mixed_pair)
+    result.recovered_signature = reference_signature
+    if _recovery_only:
+        return result
+    if corruption is not None:
+        # The healed state must be indistinguishable from a recovery
+        # that never saw the corruption.  The twin replays the same
+        # deterministic timeline (same crash, same checkpointer
+        # cadence) with nothing injected.
+        twin = run_chaos_point(crash_at_ms, algorithm=algorithm,
+                               workload=workload,
+                               reorg_config=reorg_config, seed=seed,
+                               _twin_timing=corruption,
+                               _recovery_only=True)
+        result.healed_matches_clean = (
+            twin.recovered_signature is not None
+            and twin.recovered_signature == reference_signature)
+        if not result.healed_matches_clean:
+            result.problems.append(
+                "healed state diverges from corruption-free twin recovery"
+                + (f" (twin: {twin.problems})" if twin.problems else ""))
     reference_counts = {pid: engine.store.stats(pid).live_objects
                         for pid in engine.store.partition_ids()}
     if mixed_pair is not None:
@@ -313,6 +545,17 @@ def run_chaos_point(crash_at_ms: float, algorithm: str = "ira",
         if result.remigrations:
             result.problems.append(
                 f"{result.remigrations} objects re-migrated after resume")
+    if corruption is not None:
+        # Belt and braces: after the resumed reorganization finishes,
+        # every surface must still verify (superseded snapshots may
+        # retain the injected damage — that is detection evidence, and
+        # already reconciled against the injected set above).
+        vreport = deep_verify(engine)
+        residual = (vreport.live_page_problems + vreport.log_problems
+                    + vreport.logical_problems)
+        if residual:
+            result.problems.append(
+                f"deep verify after resume: {residual[:3]}")
     return result
 
 
@@ -338,6 +581,44 @@ def chaos_sweep(points: int = 50, algorithm: str = "ira",
         result = run_chaos_point(crash_at, algorithm=algorithm,
                                  workload=workload,
                                  reorg_config=reorg_config, seed=seed)
+        report.points.append(result)
+        if progress is not None:
+            progress(result.describe())
+    return report
+
+
+def corruption_sweep(points: int = 51, algorithm: str = "ira",
+                     workload: Optional[WorkloadConfig] = None,
+                     reorg_config: Optional[ReorgConfig] = None,
+                     seed: int = 0,
+                     kinds: Tuple[str, ...] = CORRUPTION_KINDS,
+                     progress=None) -> ChaosReport:
+    """The chaos sweep's corruption dimension.
+
+    Every point runs the full crash/recover/resume cycle of
+    :func:`run_chaos_point` with one silent corruption injected (kinds
+    cycle across points), under a mid-run checkpointer where the kind
+    needs one.  The per-point seed varies so the corrupted page/bit/cut
+    differs from point to point.  ``report.no_silent_corruption`` is the
+    gate: every injection detected-and-healed (healed state equal to a
+    corruption-free twin's recovery) or refused with a typed error.
+    """
+    if points < 1:
+        raise ValueError("need at least one crash point")
+    if not kinds:
+        raise ValueError("need at least one corruption kind")
+    workload = workload or DEFAULT_WORKLOAD
+    reorg_config = reorg_config or DEFAULT_REORG
+    start, end = probe_run_window(algorithm, workload, reorg_config)
+    report = ChaosReport(algorithm=algorithm, seed=seed)
+    span = end - start
+    for index in range(points):
+        crash_at = start + span * (index + 1) / (points + 1)
+        result = run_chaos_point(crash_at, algorithm=algorithm,
+                                 workload=workload,
+                                 reorg_config=reorg_config,
+                                 seed=seed + index,
+                                 corruption=kinds[index % len(kinds)])
         report.points.append(result)
         if progress is not None:
             progress(result.describe())

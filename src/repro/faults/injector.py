@@ -29,7 +29,8 @@ class InjectorStats:
 
     __slots__ = ("crashes_fired", "kills_fired", "processes_killed",
                  "io_faults_injected", "forced_lock_timeouts",
-                 "page_writes_seen")
+                 "page_writes_seen", "torn_page_writes", "bit_flips",
+                 "torn_log_tails", "corruptions")
 
     def __init__(self) -> None:
         self.crashes_fired = 0
@@ -38,11 +39,24 @@ class InjectorStats:
         self.io_faults_injected = 0
         self.forced_lock_timeouts = 0
         self.page_writes_seen = 0
+        self.torn_page_writes = 0
+        self.bit_flips = 0
+        self.torn_log_tails = 0
+        #: ``(kind, partition_id, page_no)`` per silent corruption
+        #: actually injected (``page_no`` is -1 for log-tail tears) — the
+        #: chaos accounting checks each one off against what detection
+        #: and repair reported.
+        self.corruptions = []
+
+    @property
+    def corruptions_injected(self) -> int:
+        return len(self.corruptions)
 
     def __repr__(self) -> str:
         return (f"<InjectorStats crashes={self.crashes_fired} "
                 f"kills={self.kills_fired} io={self.io_faults_injected} "
-                f"lock_timeouts={self.forced_lock_timeouts}>")
+                f"lock_timeouts={self.forced_lock_timeouts} "
+                f"corruptions={len(self.corruptions)}>")
 
 
 class FaultInjector:
@@ -69,6 +83,9 @@ class FaultInjector:
         # String seeds: deterministic regardless of PYTHONHASHSEED.
         self._rng_io = random.Random(f"faults/io/{plan.seed}")
         self._rng_locks = random.Random(f"faults/locks/{plan.seed}")
+        self._rng_corrupt = random.Random(f"faults/corrupt/{plan.seed}")
+        self._checkpoints_seen = 0
+        self._prev_store_snapshot = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -91,6 +108,16 @@ class FaultInjector:
                 engine.buffer.fault_hook = self._page_io_fault
         if plan.lock_storm_rate > 0.0:
             engine.locks.fault_hook = self._lock_fault
+        if plan.torn_page_write is not None:
+            engine.checkpoint_hook = self._on_checkpoint
+            latest = engine.snapshots.latest()
+            if latest is not None:
+                self._prev_store_snapshot = \
+                    engine.snapshots.load(latest)["store"]
+        if plan.bit_flip_at_ms is not None:
+            engine.sim.call_later(
+                max(0.0, plan.bit_flip_at_ms - engine.sim.now),
+                self._fire_bit_flip)
         if plan.crash_at_ms is not None:
             engine.sim.call_later(
                 max(0.0, plan.crash_at_ms - engine.sim.now),
@@ -119,6 +146,8 @@ class FaultInjector:
             engine.buffer.fault_hook = None
         if engine.locks.fault_hook == self._lock_fault:
             engine.locks.fault_hook = None
+        if engine.checkpoint_hook == self._on_checkpoint:
+            engine.checkpoint_hook = None
         if engine.injector is self:
             engine.injector = None
 
@@ -153,7 +182,95 @@ class FaultInjector:
         if self.on_crash is not None:
             self.on_crash()
         else:
+            torn_tail = (self.engine.log.torn_tail_fragment(self._rng_corrupt)
+                         if self.plan.torn_log_tail else b"")
             self.crash_image = self.engine.crash()
+            if torn_tail:
+                # The log write in flight at the crash instant reached the
+                # disk only partially (or scrambled): recovery must detect
+                # and truncate it, never decode garbage.
+                self.crash_image.durable_log += torn_tail
+                self.stats.torn_log_tails += 1
+                self.stats.corruptions.append(("torn_log_tail", -1, -1))
+
+    # -- silent corruption ------------------------------------------------------
+
+    def _snapshot_pages(self, store_state):
+        return [(pid, page_no, page_state)
+                for pid, part_state in sorted(store_state["partitions"].items())
+                for page_no, page_state in sorted(part_state["pages"].items())]
+
+    def _on_checkpoint(self, payload, snapshot_id: int, lsn: int) -> None:
+        """Tear one page of the n-th checkpoint's snapshot write.
+
+        The stored image keeps a prefix of the new bytes and the tail of
+        the previous checkpoint's image of the same page (zeros when the
+        page is new), while the recorded checksum describes the complete
+        new image — exactly what an interrupted sector-by-sector page
+        write leaves behind.
+        """
+        self._checkpoints_seen += 1
+        prev_store = self._prev_store_snapshot
+        self._prev_store_snapshot = payload["store"]
+        if self._checkpoints_seen != self.plan.torn_page_write:
+            return
+        pages = self._snapshot_pages(payload["store"])
+        if not pages:
+            return
+        rng = self._rng_corrupt
+        for _ in range(8):  # retry if the tear happens to change nothing
+            pid, page_no, state = pages[rng.randrange(len(pages))]
+            buf = state["buf"]
+            old_buf = bytes(len(buf))
+            if prev_store is not None:
+                old_part = prev_store["partitions"].get(pid)
+                old_state = None if old_part is None else \
+                    old_part["pages"].get(page_no)
+                if old_state is not None and \
+                        len(old_state["buf"]) == len(buf):
+                    old_buf = old_state["buf"]
+            cut = rng.randrange(1, len(buf))
+            torn = buf[:cut] + old_buf[cut:]
+            if torn != buf:
+                state["buf"] = torn
+                self.stats.torn_page_writes += 1
+                self.stats.corruptions.append(("torn_page", pid, page_no))
+                return
+
+    def _fire_bit_flip(self) -> None:
+        """Flip one seeded-random bit in one page image (durable or live)."""
+        if self.crashed or not self._attached:
+            return
+        rng = self._rng_corrupt
+        if self.plan.bit_flip_target == "durable":
+            latest = self.engine.snapshots.latest()
+            if latest is None:
+                return
+            pages = self._snapshot_pages(
+                self.engine.snapshots.load(latest)["store"])
+            if not pages:
+                return
+            pid, page_no, state = pages[rng.randrange(len(pages))]
+            buf = bytearray(state["buf"])
+            bit = rng.randrange(len(buf) * 8)
+            buf[bit // 8] ^= 1 << (bit % 8)
+            state["buf"] = bytes(buf)
+            self.stats.bit_flips += 1
+            self.stats.corruptions.append(("bit_flip_durable", pid, page_no))
+        else:
+            store = self.engine.store
+            keys = [(pid, page_no)
+                    for pid in store.partition_ids()
+                    for page_no in store.partition(pid).page_numbers()]
+            if not keys:
+                return
+            pid, page_no = keys[rng.randrange(len(keys))]
+            page = store.partition(pid).page(page_no)
+            bit = rng.randrange(len(page._buf) * 8)
+            page._buf[bit // 8] ^= 1 << (bit % 8)  # behind the page API:
+            # the maintained checksum is now stale, which is the point.
+            self.stats.bit_flips += 1
+            self.stats.corruptions.append(("bit_flip_live", pid, page_no))
 
     def _fire_kill(self) -> None:
         if self._kill_fired or self.crashed:

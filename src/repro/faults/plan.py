@@ -58,6 +58,20 @@ class FaultPlan:
       storm).
     * ``lock_storm_window_ms`` — active window, as above.
 
+    Corruption (the silent kind — nothing raises at injection time;
+    checksums and the scrubber must *catch* it):
+
+    * ``torn_page_write`` — tear one page of the n-th checkpoint's
+      snapshot write: the stored image keeps a prefix of the new bytes
+      and the tail of the previous checkpoint's image (or zeros), under
+      the checksum recorded for the complete new image.
+    * ``bit_flip_at_ms`` / ``bit_flip_target`` — at the given time flip
+      one seeded-random bit in one page image: in the latest durable
+      snapshot (``"durable"``) or in a live in-memory page (``"live"``).
+    * ``torn_log_tail`` — when a crash trigger fires, append the log
+      write that was in flight as a torn fragment (cut or bit-flipped)
+      to the surviving log stream.
+
     ``seed`` feeds every probabilistic draw; crash/kill triggers are not
     probabilistic at all.
     """
@@ -72,6 +86,10 @@ class FaultPlan:
     io_error_window_ms: Tuple[float, float] = ALWAYS
     lock_storm_rate: float = 0.0
     lock_storm_window_ms: Tuple[float, float] = ALWAYS
+    torn_page_write: Optional[int] = None
+    bit_flip_at_ms: Optional[float] = None
+    bit_flip_target: str = "durable"
+    torn_log_tail: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.io_error_rate <= 1.0:
@@ -79,20 +97,31 @@ class FaultPlan:
         if not 0.0 <= self.lock_storm_rate <= 1.0:
             raise ValueError(
                 f"lock_storm_rate={self.lock_storm_rate} not in [0, 1]")
-        for name in ("crash_at_ms", "kill_process_at_ms"):
+        for name in ("crash_at_ms", "kill_process_at_ms", "bit_flip_at_ms"):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name}={value} is negative")
-        for name in ("crash_at_lsn", "crash_at_page_write"):
+        for name in ("crash_at_lsn", "crash_at_page_write",
+                     "torn_page_write"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name}={value} must be >= 1")
+        if self.bit_flip_target not in ("durable", "live"):
+            raise ValueError(
+                f"bit_flip_target={self.bit_flip_target!r} must be "
+                f"'durable' or 'live'")
 
     @property
     def wants_crash(self) -> bool:
         return (self.crash_at_ms is not None
                 or self.crash_at_lsn is not None
                 or self.crash_at_page_write is not None)
+
+    @property
+    def wants_corruption(self) -> bool:
+        return (self.torn_page_write is not None
+                or self.bit_flip_at_ms is not None
+                or self.torn_log_tail)
 
     def copy(self, **overrides) -> "FaultPlan":
         return replace(self, **overrides)
@@ -110,3 +139,19 @@ class FaultPlan:
     @classmethod
     def kill_reorg_at(cls, ms: float, seed: int = 0) -> "FaultPlan":
         return cls(seed=seed, kill_process_at_ms=ms)
+
+    @classmethod
+    def crash_with_torn_tail(cls, ms: float, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, crash_at_ms=ms, torn_log_tail=True)
+
+    @classmethod
+    def bit_flip_then_crash(cls, flip_ms: float, crash_ms: float,
+                            target: str = "durable",
+                            seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, bit_flip_at_ms=flip_ms, crash_at_ms=crash_ms,
+                   bit_flip_target=target)
+
+    @classmethod
+    def tear_checkpoint(cls, nth: int, crash_ms: float,
+                        seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, torn_page_write=nth, crash_at_ms=crash_ms)

@@ -1,10 +1,14 @@
 """Physical object storage: OIDs, slotted pages, partitions, object store."""
 
 from .errors import (
+    CorruptionError,
+    LogCorruptionError,
     NoSuchObjectError,
     NoSuchPartitionError,
     ObjectFormatError,
+    PageChecksumError,
     PageFullError,
+    PageRepairError,
     PartitionFullError,
     RefSlotError,
     StorageError,
@@ -18,6 +22,8 @@ from .store import ObjectStore
 
 __all__ = [
     "NULL_REF",
+    "CorruptionError",
+    "LogCorruptionError",
     "NoSuchObjectError",
     "NoSuchPartitionError",
     "ObjectFormatError",
@@ -25,7 +31,9 @@ __all__ = [
     "ObjectStore",
     "Oid",
     "Page",
+    "PageChecksumError",
     "PageFullError",
+    "PageRepairError",
     "Partition",
     "PartitionFullError",
     "PartitionStats",

@@ -29,10 +29,17 @@ PageKey = Tuple[int, int]
 #: attempt (the pool retries with capped exponential backoff).
 IOFaultHook = Callable[[str, PageKey], None]
 
+#: Read-verification hook: called with the page key after every
+#: successful miss read, before the page is served.  The engine points
+#: this at the page's checksum verifier so corruption is caught at the
+#: I/O boundary (raising :class:`~repro.storage.PageChecksumError`)
+#: instead of propagating into transactions.
+ReadVerifyHook = Callable[[PageKey], None]
+
 
 class BufferStats:
     __slots__ = ("hits", "misses", "evictions", "writebacks", "io_faults",
-                 "io_retries")
+                 "io_retries", "reads_verified")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -41,6 +48,7 @@ class BufferStats:
         self.writebacks = 0
         self.io_faults = 0
         self.io_retries = 0
+        self.reads_verified = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -68,6 +76,7 @@ class BufferPool:
         self.io_retry_limit = io_retry_limit
         self.io_retry_backoff_ms = io_retry_backoff_ms
         self.fault_hook: Optional[IOFaultHook] = None
+        self.verify_hook: Optional[ReadVerifyHook] = None
         self._frames: "OrderedDict[PageKey, bool]" = OrderedDict()  # -> dirty
         self.stats = BufferStats()
 
@@ -106,6 +115,9 @@ class BufferPool:
         while len(self._frames) >= self.capacity_pages:
             yield from self._evict_lru()
         yield from self._transfer("read", key, self.read_ms)
+        if self.verify_hook is not None:
+            self.verify_hook(key)
+            self.stats.reads_verified += 1
         # Re-check: a concurrent fix of the same page may have completed
         # while this process waited on the disk.
         if key in self._frames:

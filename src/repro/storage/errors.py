@@ -36,3 +36,30 @@ class TransientIOError(StorageError):
     manager; both retry with capped exponential backoff before letting
     the error escalate to the caller.
     """
+
+
+class CorruptionError(StorageError):
+    """Base class for *detected* corruption of stored bytes.
+
+    Distinct from the other storage errors: those signal misuse or
+    resource exhaustion, this one signals that bytes read back from
+    (simulated) stable storage fail their integrity check — a torn
+    write, a flipped bit, a truncated log record.  Callers can therefore
+    distinguish corruption (heal or fail loudly) from bugs (crash).
+    """
+
+
+class PageChecksumError(CorruptionError):
+    """A page's content does not match its recorded checksum, or its
+    slot directory violates the page invariants."""
+
+
+class PageRepairError(CorruptionError):
+    """Single-page repair could not rebuild a checksum-failing page
+    (no intact base image exists in any snapshot and the page's content
+    predates the log)."""
+
+
+class LogCorruptionError(CorruptionError):
+    """Log bytes cannot be decoded: bad framing, CRC mismatch, or a
+    malformed record body."""

@@ -8,13 +8,30 @@ front of the page, the slot directory from the back, classic style.
 The page also carries a ``page_lsn``: the LSN of the last log record
 applied to it.  Redo during restart recovery compares record LSNs against
 it, which makes redo idempotent (ARIES).
+
+Every page maintains a CRC32 over its content, updated by each mutating
+operation.  The checksum travels with the page's durable image
+(``snapshot``) and is verified on ``restore`` — a torn checkpoint write
+or a flipped bit in stable storage surfaces as a
+:class:`~repro.storage.errors.PageChecksumError` instead of silently
+corrupt data.  ``verify`` re-checks a *live* page (checksum plus slot
+directory invariants), which is what the scrubber and the buffer pool's
+read-verification use: a stray write that bypasses the page API cannot
+keep the checksum in sync, so it is detected.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Dict, Iterator, List, Tuple
 
-from .errors import NoSuchObjectError, PageFullError, StorageError
+from .errors import (
+    NoSuchObjectError,
+    PageChecksumError,
+    PageFullError,
+    StorageError,
+)
 
 #: Bytes of fixed page header we account for (slot count, free pointer,
 #: page LSN).
@@ -23,6 +40,31 @@ PAGE_HEADER_BYTES = 16
 SLOT_ENTRY_BYTES = 4
 
 _FREE = -1
+_META = struct.Struct("<qqq")   # free_ptr, live_bytes, page_lsn (snapshots)
+
+
+def _crc_content(buf: bytes, slots: List[Tuple[int, int]],
+                 free_ptr: int, live_bytes: int) -> int:
+    """CRC32 over everything a torn write or bit flip could damage."""
+    crc = zlib.crc32(buf)
+    crc = zlib.crc32(struct.pack("<qq", free_ptr, live_bytes), crc)
+    for offset, length in slots:
+        crc = zlib.crc32(struct.pack("<qq", offset, length), crc)
+    return crc
+
+
+def snapshot_checksum(state: Dict[str, object]) -> int:
+    """The checksum a page snapshot's content *should* carry."""
+    crc = _crc_content(state["buf"], state["slots"],  # type: ignore
+                       state["free_ptr"], state["live_bytes"])  # type: ignore
+    return zlib.crc32(_META.pack(0, 0, state["page_lsn"]), crc)  # type: ignore
+
+
+def snapshot_checksum_ok(state: Dict[str, object]) -> bool:
+    """Whether a durable page image passes its own checksum (pre-CRC
+    snapshots, which carry no ``crc`` field, are accepted)."""
+    recorded = state.get("crc")
+    return recorded is None or recorded == snapshot_checksum(state)
 
 
 class Page:
@@ -34,7 +76,7 @@ class Page:
     """
 
     __slots__ = ("size", "page_lsn", "_buf", "_free_ptr", "_slots",
-                 "_live_bytes")
+                 "_live_bytes", "_crc")
 
     def __init__(self, size: int):
         if size <= PAGE_HEADER_BYTES + SLOT_ENTRY_BYTES:
@@ -45,6 +87,7 @@ class Page:
         self._free_ptr = 0               # next byte offset for appends
         self._slots: List[Tuple[int, int]] = []   # slot -> (offset, length)
         self._live_bytes = 0
+        self._crc = self._content_crc()
 
     # -- space accounting ----------------------------------------------------
 
@@ -118,12 +161,14 @@ class Page:
                 f"write [{start}:{start + len(data)}] out of record "
                 f"of {reclen}B")
         self._buf[offset + start:offset + start + len(data)] = data
+        self._crc = self._content_crc()
 
     def update(self, slot: int, data: bytes) -> None:
         """Replace a record's bytes; relocates within the page if resized."""
         offset, reclen = self._slot_entry(slot)
         if len(data) == reclen:
             self._buf[offset:offset + reclen] = data
+            self._crc = self._content_crc()
             return
         # Free the old record and try to place the new one; roll back to the
         # old image if it does not fit so the page is never left corrupted.
@@ -143,6 +188,7 @@ class Page:
         self._buf[offset:offset + length] = b"\x00" * length
         self._slots[slot] = (_FREE, 0)
         self._live_bytes -= length
+        self._crc = self._content_crc()
 
     def slots(self) -> Iterator[int]:
         """Yield every occupied slot number."""
@@ -154,11 +200,60 @@ class Page:
         return (0 <= slot < len(self._slots)
                 and self._slots[slot][0] != _FREE)
 
+    # -- integrity ----------------------------------------------------------
+
+    @property
+    def checksum(self) -> int:
+        """The CRC maintained by the mutating operations."""
+        return self._crc
+
+    def _content_crc(self) -> int:
+        return _crc_content(bytes(self._buf), self._slots,
+                            self._free_ptr, self._live_bytes)
+
+    def verify(self) -> None:
+        """Check the live page against its checksum and invariants.
+
+        Raises :class:`PageChecksumError` on any violation.  Catches both
+        corruption of the record bytes (writes that bypassed the page
+        API cannot update the checksum) and structural damage to the
+        slot directory.
+        """
+        problems: List[str] = []
+        if not 0 <= self._free_ptr <= self.size:
+            problems.append(f"free_ptr {self._free_ptr} out of page")
+        live = 0
+        for slot, (offset, length) in enumerate(self._slots):
+            if offset == _FREE:
+                continue
+            live += length
+            if offset < 0 or length < 0 or offset + length > self._free_ptr:
+                problems.append(
+                    f"slot {slot} [{offset}:{offset + length}] outside "
+                    f"written region [0:{self._free_ptr}]")
+        if live != self._live_bytes:
+            problems.append(
+                f"live_bytes {self._live_bytes} != slot total {live}")
+        if self.used_bytes > self.size:
+            problems.append(f"used {self.used_bytes}B > page {self.size}B")
+        if self._content_crc() != self._crc:
+            problems.append("content CRC mismatch")
+        if problems:
+            raise PageChecksumError("; ".join(problems))
+
     # -- checkpoint support -------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """Deep-copyable state for fuzzy checkpoints."""
-        return {
+        """Deep-copyable state for fuzzy checkpoints, checksummed so a
+        damaged durable image is detected at restore.
+
+        The recorded checksum folds the *maintained* CRC, not one
+        recomputed from the buffer: a page whose memory already rotted
+        (a bit flip behind the page API) must not get its corruption
+        laundered into a validly-checksummed durable image — the stale
+        maintained CRC travels with the snapshot and restore rejects it.
+        """
+        state = {
             "size": self.size,
             "page_lsn": self.page_lsn,
             "buf": bytes(self._buf),
@@ -166,15 +261,23 @@ class Page:
             "slots": list(self._slots),
             "live_bytes": self._live_bytes,
         }
+        state["crc"] = zlib.crc32(_META.pack(0, 0, self.page_lsn), self._crc)
+        return state
 
     @classmethod
-    def restore(cls, state: Dict[str, object]) -> "Page":
+    def restore(cls, state: Dict[str, object],
+                verify_checksum: bool = True) -> "Page":
+        if verify_checksum and not snapshot_checksum_ok(state):
+            raise PageChecksumError(
+                f"page image checksum mismatch (recorded "
+                f"{state.get('crc')}, computed {snapshot_checksum(state)})")
         page = cls(state["size"])  # type: ignore[arg-type]
         page.page_lsn = state["page_lsn"]  # type: ignore[assignment]
         page._buf = bytearray(state["buf"])  # type: ignore[arg-type]
         page._free_ptr = state["free_ptr"]  # type: ignore[assignment]
         page._slots = list(state["slots"])  # type: ignore[arg-type]
         page._live_bytes = state["live_bytes"]  # type: ignore[assignment]
+        page._crc = page._content_crc()
         return page
 
     # -- internals ------------------------------------------------------------
@@ -194,6 +297,7 @@ class Page:
         self._free_ptr += len(data)
         self._slots[slot] = (offset, len(data))
         self._live_bytes += len(data)
+        self._crc = self._content_crc()
 
     def _data_limit(self) -> int:
         """First byte reserved for header/directory accounting."""

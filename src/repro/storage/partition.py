@@ -8,9 +8,9 @@ compaction examples report.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from .errors import NoSuchObjectError, PartitionFullError
+from .errors import NoSuchObjectError, PageChecksumError, PartitionFullError
 from .freespace import FreeSpaceMap
 from .oid import Oid
 from .page import Page
@@ -170,6 +170,28 @@ class Partition:
             for slot in self._pages[page_no].slots():
                 yield Oid(self.partition_id, page_no, slot)
 
+    def adopt_page(self, page_no: int, page: Page) -> None:
+        """Install a rebuilt page image (single-page repair)."""
+        if page.size != self.page_size:
+            raise ValueError(
+                f"page size {page.size} != partition's {self.page_size}")
+        while page_no >= self._next_page_no:
+            self._next_page_no += 1
+        self._pages[page_no] = page
+        self._fsm.register_page(page_no, page.free_space)
+
+    def verify_pages(self) -> List[str]:
+        """Checksum/invariant sweep over every live page; returns the
+        violations found (empty = clean)."""
+        problems: List[str] = []
+        for page_no in sorted(self._pages):
+            try:
+                self._pages[page_no].verify()
+            except PageChecksumError as exc:
+                problems.append(
+                    f"partition {self.partition_id} page {page_no}: {exc}")
+        return problems
+
     def set_page_lsn(self, page_no: int, lsn: int) -> None:
         self.page(page_no).page_lsn = lsn
 
@@ -208,13 +230,29 @@ class Partition:
         }
 
     @classmethod
-    def restore(cls, state: Dict[str, object]) -> "Partition":
+    def restore(cls, state: Dict[str, object],
+                corrupt_sink: Optional[List[Tuple[int, int]]] = None
+                ) -> "Partition":
+        """Rebuild from a snapshot, verifying each page's checksum.
+
+        A checksum-failing page raises :class:`PageChecksumError` —
+        unless ``corrupt_sink`` is given, in which case the damaged page
+        is replaced by an empty placeholder and ``(partition_id,
+        page_no)`` is appended to the sink for the caller (restart
+        recovery) to repair from an older image plus the log.
+        """
         part = cls(state["partition_id"], state["page_size"],  # type: ignore
                    state["max_pages"])  # type: ignore[arg-type]
         part._next_page_no = state["next_page_no"]  # type: ignore[assignment]
         part.relocation_floor = state["relocation_floor"]  # type: ignore
         for page_no, page_state in state["pages"].items():  # type: ignore
-            page = Page.restore(page_state)
+            try:
+                page = Page.restore(page_state)
+            except PageChecksumError:
+                if corrupt_sink is None:
+                    raise
+                corrupt_sink.append((part.partition_id, page_no))
+                page = Page(part.page_size)
             part._pages[page_no] = page
             part._fsm.register_page(page_no, page.free_space)
         return part

@@ -9,11 +9,12 @@ execution path and recovery redo).
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .errors import NoSuchObjectError, NoSuchPartitionError, RefSlotError
 from .objects import ObjectImage, payload_offset, ref_slot_offset
 from .oid import NULL_REF, Oid
+from .page import Page
 from .partition import Partition, PartitionStats
 
 _HEADER = struct.Struct("<HH")
@@ -158,6 +159,20 @@ class ObjectStore:
     def stats(self, partition_id: int) -> PartitionStats:
         return self.partition(partition_id).stats()
 
+    # -- integrity ----------------------------------------------------------------
+
+    def verify_pages(self) -> List[str]:
+        """Checksum/invariant sweep over every page of every partition."""
+        problems: List[str] = []
+        for partition_id in self.partition_ids():
+            problems.extend(self._partitions[partition_id].verify_pages())
+        return problems
+
+    def adopt_page(self, partition_id: int, page_no: int,
+                   page: Page) -> None:
+        """Install a rebuilt page (single-page repair)."""
+        self.ensure_partition(partition_id).adopt_page(page_no, page)
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "page_size": self.page_size,
@@ -166,10 +181,16 @@ class ObjectStore:
         }
 
     @classmethod
-    def restore(cls, state: Dict[str, object]) -> "ObjectStore":
+    def restore(cls, state: Dict[str, object],
+                corrupt_sink: Optional[List[Tuple[int, int]]] = None
+                ) -> "ObjectStore":
+        """Rebuild from a snapshot.  With ``corrupt_sink``, checksum-
+        failing pages become empty placeholders listed in the sink
+        instead of raising (see :meth:`Partition.restore`)."""
         store = cls(page_size=state["page_size"])  # type: ignore[arg-type]
         for pid, part_state in state["partitions"].items():  # type: ignore
-            store._partitions[pid] = Partition.restore(part_state)
+            store._partitions[pid] = Partition.restore(
+                part_state, corrupt_sink=corrupt_sink)
         return store
 
     def __repr__(self) -> str:

@@ -1,8 +1,8 @@
 """Write-ahead logging, checkpoints and ARIES-style restart recovery."""
 
-from .apply import apply_record, invert_record
+from .apply import apply_record, invert_record, record_page_key
 from .checkpoint import SnapshotStore
-from .log import LogManager
+from .log import LogManager, frame_record, scan_frames
 from .records import (
     AbortRecord,
     BeginRecord,
@@ -41,5 +41,8 @@ __all__ = [
     "SnapshotStore",
     "apply_record",
     "decode_record",
+    "frame_record",
     "invert_record",
+    "record_page_key",
+    "scan_frames",
 ]

@@ -85,3 +85,18 @@ def _target_oid(record: LogRecord) -> Oid:
     if isinstance(record, RefUpdateRecord):
         return record.parent
     raise TypeError(f"not a physical record: {record!r}")
+
+
+def record_page_key(record: LogRecord) -> Optional[tuple]:
+    """``(partition, page)`` a record's redo writes to, else ``None``.
+
+    CLRs resolve to their embedded action's page.  Used by single-page
+    repair to select the log records relevant to one damaged page.
+    """
+    if isinstance(record, ClrRecord):
+        return record_page_key(record.decode_action())
+    try:
+        oid = _target_oid(record)
+    except TypeError:
+        return None
+    return (oid.partition, oid.page)

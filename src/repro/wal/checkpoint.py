@@ -43,6 +43,18 @@ class SnapshotStore:
     def has(self, snapshot_id: int) -> bool:
         return snapshot_id in self._snapshots
 
+    def ids(self):
+        """Snapshot ids, oldest first."""
+        return sorted(self._snapshots)
+
+    def items(self):
+        """``(snapshot_id, payload)`` pairs, oldest first."""
+        return [(sid, self._snapshots[sid]) for sid in sorted(self._snapshots)]
+
+    def latest(self) -> Optional[int]:
+        """The newest snapshot id, or ``None`` when empty."""
+        return max(self._snapshots) if self._snapshots else None
+
     def prune(self, keep_id: Optional[int]) -> int:
         """Drop all snapshots except ``keep_id``; returns how many dropped."""
         doomed = [sid for sid in self._snapshots if sid != keep_id]

@@ -17,6 +17,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..storage.errors import LogCorruptionError
 from ..storage.oid import NULL_REF, Oid
 
 _U8 = struct.Struct("<B")
@@ -67,6 +68,9 @@ def _pack_bytes(payload: bytes) -> bytes:
 def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
     (length,) = _U32.unpack_from(data, offset)
     offset += _U32.size
+    if offset + length > len(data):
+        raise LogCorruptionError(
+            f"embedded blob of {length}B overruns the {len(data)}B record")
     return data[offset:offset + length], offset + length
 
 
@@ -263,7 +267,23 @@ class ReorgProgressRecord(LogRecord):
 
 
 def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
-    """Decode one encoded record (inverse of ``LogRecord.encode``)."""
+    """Decode one encoded record (inverse of ``LogRecord.encode``).
+
+    Malformed bytes — truncated fields, blobs overrunning the record,
+    unknown kinds — raise :class:`LogCorruptionError` rather than letting
+    ``struct.error``/``IndexError`` escape, so callers can tell
+    corruption apart from implementation bugs.
+    """
+    try:
+        return _decode_record(data, lsn)
+    except LogCorruptionError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise LogCorruptionError(
+            f"malformed log record bytes ({len(data)}B): {exc}") from exc
+
+
+def _decode_record(data: bytes, lsn: int) -> LogRecord:
     (kind,) = _U8.unpack_from(data, 0)
     (tid,) = _U64.unpack_from(data, 1)
     (prev_lsn,) = _U64.unpack_from(data, 9)
@@ -337,7 +357,7 @@ def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
                                      algorithm=algorithm.decode("utf-8"),
                                      state=state)
     else:
-        raise ValueError(f"unknown log record kind {kind}")
+        raise LogCorruptionError(f"unknown log record kind {kind}")
     return record.with_lsn(lsn)
 
 

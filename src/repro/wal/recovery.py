@@ -14,10 +14,11 @@ the time of failure will be undone"), leaving no half-moved object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..storage import ObjectStore
-from .apply import apply_record, invert_record
+from ..storage import ObjectStore, Page, PageRepairError
+from ..storage.page import snapshot_checksum_ok
+from .apply import apply_record, invert_record, record_page_key
 from .checkpoint import SnapshotStore
 from .log import LogManager
 from .records import (
@@ -44,6 +45,15 @@ class RecoveryStats:
     loser_txns: List[int] = field(default_factory=list)
     winner_txns: List[int] = field(default_factory=list)
     clrs_written: int = 0
+    #: Checksum-failing checkpoint pages, and how each was healed.
+    pages_corrupt: int = 0
+    pages_repaired: int = 0
+    pages_rebuilt_from_empty: int = 0
+    repaired_pages: List[Tuple[int, int]] = field(default_factory=list)
+    #: Set when the durable log ended in a torn/corrupt record that
+    #: :meth:`LogManager.from_durable` truncated.
+    log_tail_truncated: bool = False
+    log_tail_problem: Optional[str] = None
 
 
 class RecoveryManager:
@@ -64,6 +74,8 @@ class RecoveryManager:
         self.stats = RecoveryStats()
 
     def run(self) -> ObjectStore:
+        self.stats.log_tail_truncated = self.log.tail_truncated
+        self.stats.log_tail_problem = self.log.tail_problem
         store, checkpoint_lsn, seed_txns = self._load_last_checkpoint()
         self.stats.checkpoint_lsn = checkpoint_lsn
         losers, winners = self._analysis(checkpoint_lsn, seed_txns)
@@ -77,15 +89,75 @@ class RecoveryManager:
 
     def _load_last_checkpoint(self):
         checkpoint: Optional[CheckpointRecord] = None
+        older: List[CheckpointRecord] = []
         for record in self.log.records():
             if isinstance(record, CheckpointRecord) and \
                     self.snapshots.has(record.snapshot_id):
+                if checkpoint is not None:
+                    older.append(checkpoint)
                 checkpoint = record
         if checkpoint is None:
             return ObjectStore(page_size=self.page_size), 0, {}
         payload = self.snapshots.load(checkpoint.snapshot_id)
-        store = ObjectStore.restore(payload["store"])
+        corrupt: List[Tuple[int, int]] = []
+        store = ObjectStore.restore(payload["store"], corrupt_sink=corrupt)
+        for pid, page_no in corrupt:
+            self._repair_page(
+                store, pid, page_no, older, checkpoint.lsn,
+                unlogged_base=bool(payload.get("unlogged_base", False)))
         return store, checkpoint.lsn, checkpoint.active_txn_table()
+
+    # -- single-page repair ---------------------------------------------------------
+
+    def _repair_page(self, store: ObjectStore, pid: int, page_no: int,
+                     older: List[CheckpointRecord], checkpoint_lsn: int,
+                     unlogged_base: bool) -> None:
+        """Heal one checksum-failing checkpoint page.
+
+        The newest *older* snapshot holding an intact image of the page
+        is the repair base; replaying the page's own physical records
+        from that point forward (ARIES page-LSN test makes the replay
+        idempotent) reproduces the state the corrupt image should have
+        held.  A page born after logging began can be rebuilt from an
+        empty base the same way.  A page that may contain bulk-loaded,
+        never-logged content and has no intact older image is genuinely
+        unrecoverable: that raises :class:`PageRepairError` instead of
+        silently resurrecting an empty page.
+        """
+        self.stats.pages_corrupt += 1
+        base_state = None
+        absent_from = None
+        for ckpt in reversed(older):
+            old_payload = self.snapshots.load(ckpt.snapshot_id)
+            part_state = old_payload["store"]["partitions"].get(pid)
+            page_state = None if part_state is None else \
+                part_state["pages"].get(page_no)
+            if page_state is None:
+                absent_from = ckpt
+                break
+            if snapshot_checksum_ok(page_state):
+                base_state = page_state
+                break
+        if base_state is not None:
+            store.adopt_page(pid, page_no, Page.restore(base_state))
+            self.stats.pages_repaired += 1
+        elif not unlogged_base or absent_from is not None:
+            # Every byte the page ever held came through the log (either
+            # the store never had an unlogged bulk-load base, or the page
+            # is younger than a checkpoint that does not contain it).
+            store.adopt_page(pid, page_no, Page(store.page_size))
+            self.stats.pages_rebuilt_from_empty += 1
+        else:
+            raise PageRepairError(
+                f"partition {pid} page {page_no}: checkpoint image failed "
+                f"its checksum and no intact older snapshot of the page "
+                f"exists; the page may hold unlogged bulk-loaded objects, "
+                f"so log replay cannot rebuild it")
+        for record in self.log.records(upto_lsn=checkpoint_lsn):
+            if record_page_key(record) == (pid, page_no):
+                apply_record(store, record, lsn=record.lsn)
+        store.partition(pid).page(page_no).verify()
+        self.stats.repaired_pages.append((pid, page_no))
 
     # -- pass 1: analysis ----------------------------------------------------------
 

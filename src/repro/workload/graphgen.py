@@ -138,6 +138,7 @@ def build_database(engine, config: WorkloadConfig) -> GraphLayout:
             engine.ert_for(pid).add(root, stub)
         layout.root_stubs[pid] = stubs
 
+    engine.unlogged_base = True  # the bulk load above wrote no WAL records
     engine.take_checkpoint()
     return layout
 

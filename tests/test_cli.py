@@ -46,3 +46,42 @@ def test_bench_table2_quick(capsys):
 def test_invalid_algorithm_rejected():
     with pytest.raises(SystemExit):
         main(["demo", "--algorithm", "nope"])
+
+
+SMALL_SCALE = ["--partitions", "2", "--objects", "170", "--mpl", "2"]
+
+
+def test_verify_clean_store_exits_zero(capsys):
+    code = main(["verify"] + SMALL_SCALE)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "VERDICT: CLEAN" in out
+
+
+def test_verify_corrupt_page_exits_nonzero(capsys):
+    code = main(["verify", "--corrupt", "page", "--skip-recovery"]
+                + SMALL_SCALE)
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "VERDICT: CORRUPT" in out
+
+
+def test_verify_corrupt_snapshot_exits_nonzero(capsys):
+    code = main(["verify", "--corrupt", "snapshot", "--skip-recovery"]
+                + SMALL_SCALE)
+    assert code == 1
+    assert "fails its recorded checksum" in capsys.readouterr().out
+
+
+def test_verify_corrupt_log_exits_nonzero(capsys):
+    code = main(["verify", "--corrupt", "log", "--skip-recovery"]
+                + SMALL_SCALE)
+    assert code == 1
+    assert "VERDICT: CORRUPT" in capsys.readouterr().out
+
+
+def test_chaos_single_corruption_point(capsys):
+    code = main(["chaos", "--crash-at", "1500", "--corruption",
+                 "torn_log_tail"] + SMALL_SCALE)
+    assert code == 0
+    assert "torn_log_tail" in capsys.readouterr().out

@@ -4,6 +4,7 @@ import pytest
 
 from repro import StorageEngine, SystemConfig
 from repro.storage import Oid
+from repro.wal import scan_frames
 from tests.conftest import committed, make_object
 
 
@@ -66,7 +67,9 @@ def test_crash_image_contains_only_durable_state(engine):
     parent, child = populate(engine)
     engine.take_checkpoint()
     image = engine.crash()
-    assert len(image.durable_log) == engine.log.flushed_lsn
+    payloads, _, problem = scan_frames(image.durable_log)
+    assert problem is None
+    assert len(payloads) == engine.log.flushed_lsn
     recovered = StorageEngine.recover(image)
     assert recovered.store.exists(parent)
     assert recovered.verify_integrity().ok

@@ -7,7 +7,9 @@ the tier-1 suite so the crash-resume path cannot silently rot.
 
 from repro import CompactionPlan, Database, ReorgConfig, WorkloadConfig
 from repro.faults import (
+    CORRUPTION_KINDS,
     chaos_sweep,
+    corruption_sweep,
     graph_signature,
     probe_run_window,
     run_chaos_point,
@@ -63,3 +65,19 @@ def test_crash_without_checkpoints_restarts_fresh():
     assert not result.completed_before_crash
     # The fresh restart migrated the whole partition again.
     assert result.migrated_by_resume == 170
+
+
+def test_corruption_smoke_sweep():
+    # One point per corruption kind; the full 50-point acceptance sweep
+    # runs from the CLI (``python -m repro chaos --corruption all``).
+    report = corruption_sweep(points=3, algorithm="ira",
+                              workload=SMOKE_WORKLOAD,
+                              reorg_config=SMOKE_REORG, seed=13)
+    assert len(report.points) == 3
+    assert {p.corruption for p in report.points} == set(CORRUPTION_KINDS)
+    assert report.all_ok, [p.describe() for p in report.failures]
+    assert report.no_silent_corruption
+    assert all(p.corruptions_injected > 0 for p in report.points)
+    summary = report.summary()
+    assert summary["silent_corruptions"] == 0
+    assert summary["corruption_points"] == 3

@@ -6,6 +6,8 @@ from repro import (
     CompactionPlan,
     Database,
     ExperimentConfig,
+    StorageEngine,
+    SystemConfig,
     WorkloadConfig,
 )
 from repro.core.checkpointing import (
@@ -16,9 +18,14 @@ from repro.core.checkpointing import (
 )
 from repro.faults import FaultInjector, FaultPlan
 from repro.refs.trt import TrtEntry
+from repro.sim import Delay
+from repro.storage.errors import PageChecksumError, PageRepairError
 from repro.storage.oid import Oid
+from repro.storage.page import snapshot_checksum_ok
+from repro.wal import scan_frames
 from repro.workload import WorkloadDriver
 from repro.workload.metrics import ExperimentMetrics
+from tests.conftest import committed, make_object
 
 SMALL = WorkloadConfig(num_partitions=2, objects_per_partition=170,
                        mpl=3, seed=13)
@@ -217,6 +224,137 @@ def test_detach_unwires_every_hook():
     assert db.engine.injector is None
     assert db.engine.log.fault_hook is None
     assert db.engine.locks.fault_hook is None
+
+
+# -- silent corruption -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"torn_page_write": 0},
+    {"bit_flip_at_ms": -1.0},
+    {"bit_flip_target": "ram"},
+])
+def test_plan_rejects_bad_corruption_values(kwargs):
+    with pytest.raises(ValueError):
+        FaultPlan(**kwargs)
+
+
+def test_plan_wants_corruption():
+    assert not FaultPlan().wants_corruption
+    assert not FaultPlan.crash_at(100.0).wants_corruption
+    assert FaultPlan.crash_with_torn_tail(100.0).wants_corruption
+    assert FaultPlan.bit_flip_then_crash(50.0, 100.0).wants_corruption
+    assert FaultPlan.tear_checkpoint(1, 100.0).wants_corruption
+
+
+def _mid_run_checkpoint(db, at_ms):
+    def proc():
+        yield Delay(max(0.0, at_ms - db.sim.now))
+        db.engine.take_checkpoint()
+    db.sim.spawn(proc(), name="checkpointer")
+
+
+def test_torn_checkpoint_write_is_detected_and_healed():
+    db, _, _ = small_db()
+    injector = FaultInjector(FaultPlan.tear_checkpoint(1, 2000.0, seed=13),
+                             db.engine).attach()
+    _mid_run_checkpoint(db, 1000.0)
+    db.sim.run()
+    assert injector.crashed
+    assert injector.stats.torn_page_writes == 1
+    (kind, pid, page_no), = injector.stats.corruptions
+    assert kind == "torn_page"
+
+    # The torn image really is on disk under the full-image checksum...
+    image = injector.crash_image
+    state = image.snapshots.load(image.snapshots.latest())[
+        "store"]["partitions"][pid]["pages"][page_no]
+    assert not snapshot_checksum_ok(state)
+
+    # ...and recovery detects it, rebuilds the page, and comes up clean.
+    recovered = Database.recover(image)
+    stats = recovered.engine.recovery_stats
+    assert stats.pages_corrupt == 1
+    assert stats.pages_repaired + stats.pages_rebuilt_from_empty == 1
+    assert recovered.verify_integrity().ok
+
+
+def test_durable_bit_flip_is_repaired_from_older_snapshot():
+    db, _, _ = small_db()
+    plan = FaultPlan.bit_flip_then_crash(1500.0, 2000.0, seed=13)
+    injector = FaultInjector(plan, db.engine).attach()
+    _mid_run_checkpoint(db, 1000.0)  # flip lands in *this* snapshot; the
+    db.sim.run()                     # load checkpoint is the repair base
+    assert injector.stats.bit_flips == 1
+    (kind, pid, page_no), = injector.stats.corruptions
+    assert kind == "bit_flip_durable"
+
+    recovered = Database.recover(injector.crash_image)
+    stats = recovered.engine.recovery_stats
+    assert stats.pages_corrupt == 1
+    assert stats.pages_repaired + stats.pages_rebuilt_from_empty == 1
+    assert recovered.verify_integrity().ok
+
+
+def test_bit_flip_in_unlogged_base_refuses_loudly():
+    # The only snapshot is the bulk-load checkpoint, whose content never
+    # went through the WAL: a flip there is unrepairable and recovery
+    # must say so, not hand back a silently-wrong page.
+    db, _, _ = small_db()
+    plan = FaultPlan.bit_flip_then_crash(1000.0, 2000.0, seed=13)
+    injector = FaultInjector(plan, db.engine).attach()
+    db.sim.run()
+    assert injector.stats.bit_flips == 1
+    with pytest.raises(PageRepairError):
+        Database.recover(injector.crash_image)
+
+
+def test_live_bit_flip_fails_page_verification():
+    # No workload threads: nothing can rewrite (and thereby launder)
+    # the flipped page before we look at it.
+    eng = StorageEngine(SystemConfig())
+    eng.create_partition(1)
+    committed(eng, lambda txn: txn.create_object(
+        1, make_object(payload=b"data")))
+
+    plan = FaultPlan(bit_flip_at_ms=5.0, bit_flip_target="live", seed=13)
+    injector = FaultInjector(plan, eng).attach()
+    eng.sim.run(until=10.0)
+    assert injector.stats.bit_flips == 1
+    (kind, pid, page_no), = injector.stats.corruptions
+    assert kind == "bit_flip_live"
+    with pytest.raises(PageChecksumError):
+        eng.store.partition(pid).page(page_no).verify()
+
+
+def test_torn_log_tail_is_truncated_by_recovery():
+    db, _, _ = small_db()
+    plan = FaultPlan.crash_with_torn_tail(1500.0, seed=13)
+    injector = FaultInjector(plan, db.engine).attach()
+    db.sim.run()
+    assert injector.stats.torn_log_tails == 1
+    assert ("torn_log_tail", -1, -1) in injector.stats.corruptions
+
+    durable = injector.crash_image.durable_log
+    _, consumed, problem = scan_frames(durable)
+    assert problem is not None or consumed < len(durable)
+
+    recovered = Database.recover(injector.crash_image)
+    assert recovered.engine.recovery_stats.log_tail_truncated
+    assert recovered.verify_integrity().ok
+
+
+def test_corruption_injection_is_deterministic():
+    def run_once():
+        db, _, _ = small_db()
+        plan = FaultPlan.bit_flip_then_crash(1500.0, 2000.0, seed=13)
+        injector = FaultInjector(plan, db.engine).attach()
+        _mid_run_checkpoint(db, 1000.0)
+        db.sim.run()
+        return list(injector.stats.corruptions)
+
+    first, second = run_once(), run_once()
+    assert first and first == second
 
 
 # -- WAL-carried reorg checkpoints -------------------------------------------------

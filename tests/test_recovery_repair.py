@@ -1,0 +1,265 @@
+"""Corruption-tolerant restart recovery: single-page repair.
+
+A checkpoint page that fails its checksum at restore is rebuilt — from
+the newest older snapshot holding a valid image of it plus targeted log
+replay, or from an empty page when the page's full history is in the
+log.  When neither is sound (the content predates logging and no intact
+base survives), recovery refuses loudly with ``PageRepairError`` rather
+than serving a corrupt or silently-empty page.
+
+Also here: interrupting restart recovery itself mid-undo (some CLRs
+already durable) and recovering again must land in exactly the state an
+uninterrupted recovery produces.
+"""
+
+import pytest
+
+from repro import CrashImage, StorageEngine, SystemConfig
+from repro.storage.errors import PageRepairError
+from repro.storage.page import snapshot_checksum_ok
+from repro.wal import ClrRecord, LogManager
+from tests.conftest import committed, make_object, run
+
+
+def fresh_engine():
+    eng = StorageEngine(SystemConfig())
+    eng.create_partition(1)
+    eng.create_partition(2)
+    return eng
+
+
+def corrupt_snapshot_page(engine, snapshot_id, pid, page_no):
+    """Flip one byte of a durable page image, leaving its recorded
+    checksum stale (what a rotten disk block looks like)."""
+    state = engine.snapshots.load(snapshot_id)["store"]["partitions"][
+        pid]["pages"][page_no]
+    buf = bytearray(state["buf"])
+    buf[0] ^= 0xFF
+    state["buf"] = bytes(buf)
+    assert not snapshot_checksum_ok(state)
+
+
+def snapshot_page_ids(engine, snapshot_id, pid):
+    return sorted(engine.snapshots.load(snapshot_id)["store"]["partitions"]
+                  [pid]["pages"])
+
+
+def store_contents(engine):
+    return {oid: engine.store.read_object(oid).payload
+            for oid in engine.store.all_live_oids()}
+
+
+def make_two_checkpoint_engine():
+    """Engine with committed work both before and after two checkpoints."""
+    eng = fresh_engine()
+
+    def phase1(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"one."))
+        return oid
+    first = committed(eng, phase1)
+    ckpt1 = eng.take_checkpoint()
+
+    def phase2(txn):
+        yield from txn.write_payload(first, 0, b"ONE.")
+        oid = yield from txn.create_object(1, make_object(payload=b"two."))
+        return oid
+    second = committed(eng, phase2)
+    ckpt2 = eng.take_checkpoint()
+
+    def phase3(txn):
+        yield from txn.write_payload(second, 0, b"TWO.")
+    committed(eng, phase3)
+    return eng, (first, second), (ckpt1, ckpt2)
+
+
+def test_repair_from_older_snapshot():
+    eng, (first, second), _ = make_two_checkpoint_engine()
+    reference = store_contents(StorageEngine.recover(eng.crash()))
+
+    latest = eng.snapshots.latest()
+    page_no = snapshot_page_ids(eng, latest, 1)[0]
+    corrupt_snapshot_page(eng, latest, 1, page_no)
+
+    recovered = StorageEngine.recover(eng.crash())
+    stats = recovered.recovery_stats
+    assert stats.pages_corrupt == 1
+    assert stats.pages_repaired == 1
+    assert stats.repaired_pages == [(1, page_no)]
+    assert store_contents(recovered) == reference
+    assert recovered.verify_integrity().ok
+
+
+def test_rebuild_from_empty_when_history_is_fully_logged():
+    # No bulk load here: every byte in the store arrived through the
+    # WAL, so a corrupt page with no intact older image is still
+    # rebuildable from an empty page plus full replay.
+    eng = fresh_engine()
+
+    def body(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"data"))
+        return oid
+    oid = committed(eng, body)
+    eng.take_checkpoint()
+    reference = store_contents(StorageEngine.recover(eng.crash()))
+
+    latest = eng.snapshots.latest()
+    page_no = snapshot_page_ids(eng, latest, 1)[0]
+    corrupt_snapshot_page(eng, latest, 1, page_no)
+
+    recovered = StorageEngine.recover(eng.crash())
+    stats = recovered.recovery_stats
+    assert stats.pages_corrupt == 1
+    assert stats.pages_rebuilt_from_empty == 1
+    assert store_contents(recovered) == reference
+    assert recovered.store.read_object(oid).payload == b"data"
+
+
+def test_unrepairable_page_refuses_loudly():
+    # The page's content predates logging (unlogged bulk load) and the
+    # only snapshot holding it is corrupt: replay cannot reconstruct it,
+    # so recovery must raise, not hand back a silently-wrong page.
+    eng = fresh_engine()
+
+    def body(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"base"))
+        return oid
+    committed(eng, body)
+    eng.unlogged_base = True
+    eng.take_checkpoint()
+
+    latest = eng.snapshots.latest()
+    page_no = snapshot_page_ids(eng, latest, 1)[0]
+    corrupt_snapshot_page(eng, latest, 1, page_no)
+
+    with pytest.raises(PageRepairError):
+        StorageEngine.recover(eng.crash())
+
+
+def test_page_born_after_older_snapshot_rebuilds_despite_unlogged_base():
+    # Partition 2 had no pages at the first checkpoint, so a corrupt
+    # partition-2 page in the second checkpoint provably postdates the
+    # unlogged base — its whole history is in the log and empty-rebuild
+    # is sound even though the engine carries unlogged content.
+    eng = fresh_engine()
+
+    def phase1(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"p1.."))
+        return oid
+    committed(eng, phase1)
+    eng.unlogged_base = True
+    eng.take_checkpoint()
+
+    def phase2(txn):
+        oid = yield from txn.create_object(2, make_object(payload=b"p2.."))
+        return oid
+    late = committed(eng, phase2)
+    eng.take_checkpoint()
+    reference = store_contents(StorageEngine.recover(eng.crash()))
+
+    latest = eng.snapshots.latest()
+    page_no = snapshot_page_ids(eng, latest, 2)[0]
+    corrupt_snapshot_page(eng, latest, 2, page_no)
+
+    recovered = StorageEngine.recover(eng.crash())
+    assert recovered.recovery_stats.pages_rebuilt_from_empty == 1
+    assert store_contents(recovered) == reference
+    assert recovered.store.read_object(late).payload == b"p2.."
+
+
+def test_multiple_corrupt_pages_all_repaired():
+    eng, _, _ = make_two_checkpoint_engine()
+    reference = store_contents(StorageEngine.recover(eng.crash()))
+
+    latest = eng.snapshots.latest()
+    pages = snapshot_page_ids(eng, latest, 1)
+    for page_no in pages:
+        corrupt_snapshot_page(eng, latest, 1, page_no)
+
+    recovered = StorageEngine.recover(eng.crash())
+    assert recovered.recovery_stats.pages_corrupt == len(pages)
+    assert recovered.recovery_stats.pages_repaired == len(pages)
+    assert store_contents(recovered) == reference
+
+
+def test_repaired_page_passes_live_verification():
+    eng, _, _ = make_two_checkpoint_engine()
+    latest = eng.snapshots.latest()
+    page_no = snapshot_page_ids(eng, latest, 1)[0]
+    corrupt_snapshot_page(eng, latest, 1, page_no)
+
+    recovered = StorageEngine.recover(eng.crash())
+    recovered.store.partition(1).page(page_no).verify()
+    assert not recovered.store.verify_pages()
+
+
+def test_clean_recovery_reports_no_repairs():
+    eng, _, _ = make_two_checkpoint_engine()
+    recovered = StorageEngine.recover(eng.crash())
+    stats = recovered.recovery_stats
+    assert stats.pages_corrupt == 0
+    assert stats.pages_repaired == 0
+    assert stats.pages_rebuilt_from_empty == 0
+    assert not stats.log_tail_truncated
+
+
+# -- crash during recovery itself ---------------------------------------------
+
+
+def test_crash_during_recovery_undo_is_idempotent(monkeypatch):
+    """Kill recovery after two of a loser's three CLRs reached disk;
+    recovering from *that* image must finish the undo exactly once and
+    match an uninterrupted recovery."""
+    eng = fresh_engine()
+
+    def setup(txn):
+        oid = yield from txn.create_object(1, make_object(payload=b"0000"))
+        return oid
+    oid = committed(eng, setup)
+
+    def loser():
+        txn = eng.txns.begin()
+        yield from txn.write_payload(oid, 0, b"1111")
+        yield from txn.write_payload(oid, 0, b"2222")
+        yield from txn.write_payload(oid, 0, b"3333")
+        eng.log.flush_now()  # durable, but no COMMIT
+    run(eng, loser())
+    image = eng.crash()
+
+    reference = store_contents(StorageEngine.recover(image))
+    assert reference[oid] == b"0000"
+
+    class MidUndoCrash(Exception):
+        pass
+
+    captured = {}
+    original_append = LogManager.append
+
+    def crashing_append(self, record):
+        lsn = original_append(self, record)
+        if isinstance(record, ClrRecord):
+            captured["log"] = self
+            captured["clrs"] = captured.get("clrs", 0) + 1
+            self.flush_now()  # this CLR reached disk before the crash
+            if captured["clrs"] == 2:
+                raise MidUndoCrash()
+        return lsn
+
+    monkeypatch.setattr(LogManager, "append", crashing_append)
+    with pytest.raises(MidUndoCrash):
+        StorageEngine.recover(image)
+    monkeypatch.undo()
+    assert captured["clrs"] == 2
+
+    second_image = CrashImage(durable_log=captured["log"].durable_bytes(),
+                              snapshots=image.snapshots,
+                              config=image.config)
+    recovered = StorageEngine.recover(second_image)
+    # Only the third update still needed a CLR; the two durable ones
+    # must not be undone (or applied) twice.
+    assert recovered.recovery_stats.clrs_written == 1
+    assert store_contents(recovered) == reference
+    assert recovered.verify_integrity().ok
+
+    # And a third crash/recover cycle stays put.
+    again = StorageEngine.recover(recovered.crash())
+    assert store_contents(again) == reference

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Delay, Resource, Simulator
-from repro.wal import BeginRecord, CommitRecord, LogManager
+from repro.wal import BeginRecord, CommitRecord, LogManager, scan_frames
 
 
 @pytest.fixture
@@ -76,15 +76,40 @@ def test_group_commit_piggybacks(setup):
         yield from log.flush(lsn)
         finish[tag] = sim.now
 
-    # Three committers racing: the first pays one I/O; the two that queue
-    # behind it find their LSN already covered when the flusher finishes
-    # (everything buffered rides along).
+    # Three committers racing: the first grabs the disk and fixes its
+    # write's content at that instant, so the two that append while the
+    # I/O is in flight cannot ride it — they share a single *second*
+    # flush (group commit among the waiters).
     for tag in (1, 2, 3):
         sim.spawn(committer(tag))
     sim.run()
-    assert finish[1] == 8.0
-    assert finish[2] == 8.0 and finish[3] == 8.0
-    assert log.flush_count == 1
+    assert finish == {1: 8.0, 2: 16.0, 3: 16.0}
+    assert log.flush_count == 2
+
+
+def test_flush_does_not_cover_records_appended_mid_write(setup):
+    # Regression: the durable horizon must stop at the append point
+    # captured when the disk write began.  A record appended while the
+    # I/O was in flight is physically not in that write; reporting it
+    # durable would let a crash lose a "committed" transaction.
+    sim, _, log = setup
+    log.append(CommitRecord(1, 0))
+
+    def flusher():
+        yield from log.flush()
+
+    def late_appender():
+        yield Delay(4.0)  # mid-flight: the flush runs over [0, 8.0)
+        log.append(CommitRecord(2, 0))
+
+    sim.spawn(flusher())
+    sim.spawn(late_appender())
+    sim.run()
+    assert log.last_lsn == 2
+    assert log.flushed_lsn == 1
+    payloads, _, problem = scan_frames(log.durable_bytes())
+    assert problem is None
+    assert len(payloads) == 1
 
 
 def test_later_appends_need_second_flush(setup):
@@ -127,10 +152,13 @@ def test_durable_bytes_exclude_unflushed_tail(setup):
     log.flush_now()
     log.append(BeginRecord(2, 0))  # unflushed
     durable = log.durable_bytes()
-    assert len(durable) == 1
+    payloads, _, problem = scan_frames(durable)
+    assert problem is None
+    assert len(payloads) == 1
     rebuilt = LogManager.from_durable(sim, disk, 8.0, durable)
     assert rebuilt.last_lsn == 1
     assert rebuilt.flushed_lsn == 1
+    assert not rebuilt.tail_truncated
     assert rebuilt.read(1).tid == 1
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage import Oid
+from repro.storage import LogCorruptionError, Oid
 from repro.wal import (
     AbortRecord,
     BeginRecord,
@@ -96,7 +96,7 @@ def test_checkpoint_roundtrip():
 
 
 def test_unknown_kind_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(LogCorruptionError):
         decode_record(b"\xee" + b"\x00" * 16)
 
 
