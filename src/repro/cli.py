@@ -30,6 +30,16 @@ Commands
     page checksums, snapshot checksums, log decodability, reference
     integrity).  Exits non-zero on any finding; ``--corrupt`` plants
     one deliberate corruption first to prove the sweep catches it.
+
+``explore``
+    Schedule-space exploration (see EXPLORING.md): run the workload +
+    reorganization many times under permuted same-timestamp schedules
+    and bounded preemptions, judging every run with the oracle suite
+    (serializability, transparency, lock footprint, recovery
+    idempotence, deep verify).  Failures are minimized and serialized
+    as replayable artifacts; ``--replay FILE`` reproduces one in a
+    fresh process, ``--mutation NAME`` plants a known bug to prove the
+    oracles fire.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from .bench import (
 from .config import ExperimentConfig, ReorgConfig, SystemConfig, WorkloadConfig
 from .core import CompactionPlan
 from .database import Database, REORGANIZERS
+from .explore.mutations import MUTATIONS
 from .workload import WorkloadDriver
 
 
@@ -238,6 +249,51 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_explore(args) -> int:
+    from .explore import MUTATIONS, explore, replay_artifact
+
+    if args.replay is not None:
+        result = replay_artifact(args.replay)
+        print(f"replayed {args.replay}:")
+        for verdict in result.verdicts:
+            print(f"  {verdict.describe()}")
+        print(f"  sim end {result.sim_end_ms:.1f} ms, "
+              f"trace {result.trace_hash}"
+              + (f", mutation {result.mutation} "
+                 f"(triggered={result.mutation_triggered})"
+                 if result.mutation else ""))
+        return 0 if result.ok else 1
+
+    workload = WorkloadConfig(num_partitions=args.partitions,
+                              objects_per_partition=args.objects,
+                              mpl=args.mpl, seed=args.seed)
+    # Each mutation targets one algorithm's seam; follow it unless the
+    # user explicitly picked one.
+    algorithm = args.algorithm or (
+        MUTATIONS[args.mutation].algorithm if args.mutation else "ira")
+    report = explore(seeds=args.seeds, depth=args.depth, workload=workload,
+                     algorithm=algorithm, mutation_name=args.mutation,
+                     out_dir=args.out,
+                     progress=lambda line: print(f"  {line}"))
+    print(f"\n  distinct schedules   {report.distinct} "
+          f"({report.schedules_run} runs)")
+    print(f"  baseline choices     {report.baseline_choice_points}")
+    print(f"  oracle violations    {len(report.failures)}")
+    for result in report.failures:
+        print(f"    {result.trace_hash}: {', '.join(result.failing())}")
+    for path in report.artifacts:
+        print(f"  artifact             {path}")
+    if args.mutation is not None:
+        # A mutated run is *supposed* to fail; exit 0 only if the
+        # matching oracle caught the planted bug somewhere.
+        expected = MUTATIONS[args.mutation].expected_oracle
+        caught = any(expected in r.failing() for r in report.failures)
+        print(f"  planted {args.mutation}: "
+              f"{'caught by ' + expected if caught else 'NOT CAUGHT'}")
+        return 0 if caught else 1
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +355,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify the live engine without the "
                              "crash/recover cycle")
     verify.set_defaults(fn=cmd_verify)
+
+    explore = sub.add_parser(
+        "explore", help="explore perturbed schedules against the oracles")
+    explore.add_argument("--seeds", type=int, default=50,
+                         help="distinct schedules to explore (default 50)")
+    explore.add_argument("--depth", type=int, default=2,
+                         help="systematic deviations per schedule "
+                              "(default 2)")
+    explore.add_argument("--algorithm", default=None,
+                         choices=["ira", "ira-2lock"],
+                         help="default: ira, or the --mutation's target "
+                              "algorithm")
+    explore.add_argument("--partitions", type=int, default=2)
+    explore.add_argument("--objects", type=int, default=85,
+                         help="objects per partition, multiple of 85 "
+                              "(default 85)")
+    explore.add_argument("--mpl", type=int, default=3)
+    explore.add_argument("--seed", type=int, default=131,
+                         help="workload seed (default 131)")
+    explore.add_argument("--mutation", default=None,
+                         choices=sorted(MUTATIONS),
+                         help="plant a known reorganizer bug; the run "
+                              "then must be caught by its oracle")
+    explore.add_argument("--out", default=None, metavar="DIR",
+                         help="write minimized replayable failure "
+                              "artifacts into DIR")
+    explore.add_argument("--replay", default=None, metavar="FILE",
+                         help="re-run a failure artifact instead of "
+                              "exploring")
+    explore.set_defaults(fn=cmd_explore)
     return parser
 
 

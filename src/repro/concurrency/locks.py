@@ -97,6 +97,12 @@ class LockManager:
         self._history: Dict[object, Set[int]] = {}
         self._tid_history: Dict[int, Set[object]] = {}
         self.fault_hook: Optional[TimeoutFaultHook] = None
+        #: Observer hook: called with ("grant", tid, key, mode) after every
+        #: grant or upgrade, and ("release", tid, key, None) after every
+        #: release.  Used by repro.explore's lock-footprint oracle; must not
+        #: touch lock state.
+        self.observer: Optional[Callable[[str, int, object,
+                                          Optional[LockMode]], None]] = None
         self.stats = LockStats()
 
     # -- acquisition ---------------------------------------------------------
@@ -119,6 +125,8 @@ class LockManager:
         if upgrade:
             if len(entry.granted) == 1:
                 entry.granted[tid] = LockMode.X
+                if self.observer is not None:
+                    self.observer("grant", tid, key, LockMode.X)
                 return
         elif self._grantable(entry, mode) and not entry.queue:
             self._grant(entry, tid, mode, key)
@@ -169,6 +177,8 @@ class LockManager:
         held = self._held_by.get(tid)
         if held is not None:
             held.discard(key)
+        if self.observer is not None:
+            self.observer("release", tid, key, None)
         self._dispatch(entry, key)
 
     def release_all(self, tid: int) -> Set[object]:
@@ -178,6 +188,8 @@ class LockManager:
             entry = self._table.get(key)
             if entry is not None and tid in entry.granted:
                 del entry.granted[tid]
+                if self.observer is not None:
+                    self.observer("release", tid, key, None)
                 self._dispatch(entry, key)
         return keys
 
@@ -233,6 +245,8 @@ class LockManager:
         if self.track_history:
             self._history.setdefault(key, set()).add(tid)
             self._tid_history.setdefault(tid, set()).add(key)
+        if self.observer is not None:
+            self.observer("grant", tid, key, mode)
 
     def _dispatch(self, entry: _LockEntry, key) -> None:
         """Grant queued requests from the front while compatible (FIFO)."""
@@ -243,6 +257,8 @@ class LockManager:
                                    ignore_tid=request.tid):
                     entry.queue.popleft()
                     entry.granted[request.tid] = LockMode.X
+                    if self.observer is not None:
+                        self.observer("grant", request.tid, key, LockMode.X)
                     request.event.succeed()
                     continue
                 break

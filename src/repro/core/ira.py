@@ -106,6 +106,21 @@ class IncrementalReorganizer:
         # (tuple seeds would go through randomized hash()).
         self._retry_rng = random.Random(
             f"backoff/{self.cfg.retry_seed}/{partition_id}")
+        #: Observation hook ``probe(event, **info)`` for repro.explore:
+        #: fired at "exact_parents" (oid, parents), "migrated"
+        #: (oid, new_oid) and "lock" (tid, target).  Must not mutate
+        #: reorganizer state.
+        self.probe = None
+
+    def _probe(self, event: str, **info) -> None:
+        if self.probe is not None:
+            self.probe(event, **info)
+
+    def _parents_to_patch(self, oid: Oid, parents: Set[Oid]) -> List[Oid]:
+        """Seam: the ordered parent list whose slots get patched for one
+        migration.  repro.explore's mutation tests override this to model
+        a buggy reorganizer that skips a pointer rewrite."""
+        return sorted(parents)
 
     # -- top level (Fig. 1) -------------------------------------------------------
 
@@ -277,12 +292,14 @@ class IncrementalReorganizer:
 
         self.stats.max_locks_held = max(
             self.stats.max_locks_held, self.engine.locks.lock_count(txn.tid))
+        self._probe("exact_parents", oid=oid, parents=set(exact))
         return exact
 
     def _lock_for_reorg(self, txn, target: Oid) -> Generator[Any, Any, None]:
         if target.partition != self.partition_id and \
                 not self.engine.locks.holds(txn.tid, target):
             self.stats.external_lock_acquisitions += 1
+        self._probe("lock", tid=txn.tid, target=target)
         yield from txn.lock(target, LockMode.X)
         if not self.engine.config.strict_transactions:
             # §4.1: transactions release locks early, so also wait for every
@@ -327,7 +344,7 @@ class IncrementalReorganizer:
             fresh_only=self.plan.fresh_only, cpu_ms=0)
         # Patch every reference to the old address.  A self-reference lives
         # in the *new* copy now; all other parents are write-locked.
-        for parent in sorted(parents):
+        for parent in self._parents_to_patch(oid, parents):
             patch_target = new_oid if parent == oid else parent
             for slot in engine.store.read_object(
                     patch_target).slots_referencing(oid):
@@ -361,6 +378,7 @@ class IncrementalReorganizer:
             self._mapping[oid] = new_oid
             self._migrated.add(oid)
             self.stats.objects_migrated += 1
+            self._probe("migrated", oid=oid, new_oid=new_oid)
 
     def _translate(self, oid: Oid, batch_mapping: Dict[Oid, Oid]) -> Oid:
         """Committed migrations first, then this batch's in-flight ones."""

@@ -188,6 +188,7 @@ class TwoLockReorganizer(IncrementalReorganizer):
             # parent is patched, so the gap after create-commit is safe).
             yield from anchor.lock(new_oid, LockMode.X)
             self.in_flight[oid] = new_oid
+            self._probe("in_flight", oid=oid, new_oid=new_oid)
 
             if resumed_new_oid is not None:
                 yield from self._reconcile_copy(anchor, oid, new_oid)
@@ -267,6 +268,8 @@ class TwoLockReorganizer(IncrementalReorganizer):
 
     def _patch_slots(self, txn, holder: Oid, old_child: Oid,
                      new_child: Oid) -> Generator[Any, Any, None]:
+        self._probe("patch", tid=txn.tid, holder=holder,
+                    old_child=old_child, new_child=new_child)
         slots = self.engine.store.read_object(
             holder).slots_referencing(old_child)
         if slots:

@@ -114,6 +114,9 @@ class StorageEngine:
         #: checkpoint; the fault injector uses it to corrupt just-written
         #: snapshot pages (torn checkpoint writes).
         self.checkpoint_hook = None
+        #: Access-history recorder (``repro.explore.history.HistoryRecorder``)
+        #: fed by Transaction/TransactionManager when installed.
+        self.history = None
         self._wire_read_verification()
 
     def _wire_read_verification(self) -> None:
@@ -287,6 +290,7 @@ class StorageEngine:
         engine.unlogged_base = bool(
             (checkpoint_payload or {}).get("unlogged_base", False))
         engine.checkpoint_hook = None
+        engine.history = None
         engine._wire_read_verification()
         return engine
 

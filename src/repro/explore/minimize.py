@@ -1,0 +1,59 @@
+"""Trace minimization: shrink a failing schedule to its essence.
+
+A failing schedule found by the explorer may carry hundreds of recorded
+scheduling decisions, most of them irrelevant to the failure.  The
+minimizer is a budgeted ddmin (delta debugging) over the *sparse*
+decision map: it re-runs candidate subsets through the caller-supplied
+``still_fails`` predicate (which replays the subset and checks that the
+same oracles fire) and keeps the smallest subset that still reproduces.
+
+Each probe is a full simulation run, so the search is budget-capped
+rather than run to the 1-minimal fixpoint; the artifact notes whether
+the budget expired.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+
+def minimize_decisions(decisions: Dict[int, tuple],
+                       still_fails: Callable[[Dict[int, tuple]], bool],
+                       budget: int = 32) -> Tuple[Dict[int, tuple], bool]:
+    """ddmin over decision items; returns ``(minimized, budget_left)``.
+
+    ``still_fails(subset)`` must replay the subset and report whether the
+    original failure reproduces.  The input map is assumed failing; at
+    most ``budget`` probes are spent.
+    """
+    items: List[tuple] = sorted(decisions.items())
+    spent = [0]
+
+    def probe(subset: List[tuple]) -> bool:
+        if spent[0] >= budget:
+            return False
+        spent[0] += 1
+        return still_fails(dict(subset))
+
+    # Fast path: does the failure even need the deviations?
+    if items and probe([]):
+        return {}, True
+
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            if spent[0] >= budget:
+                return dict(items), False
+            candidate = items[:start] + items[start + chunk:]
+            if candidate != items and probe(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(items))
+    return dict(items), spent[0] < budget

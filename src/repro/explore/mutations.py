@@ -1,0 +1,202 @@
+"""Planted reorganizer bugs that prove the oracles are sound.
+
+An oracle that never fires proves nothing.  Each mutation here breaks
+the implementation in one targeted, realistic way — through the seams
+the reorganizer exposes for exactly this purpose — and names the oracle
+that must catch it.  ``tests/test_explore_oracles.py`` runs every
+mutation through the explorer and asserts the expected oracle reports a
+violation (and that an unmutated run under the same schedule is clean).
+
+The catalogue:
+
+``skip_parent_patch``   (ira → ``transparency``)
+    Move_Object_And_Update_Refs "forgets" one parent-pointer rewrite:
+    the parent keeps referencing the old, deleted address.
+
+``third_reorg_lock``    (ira-2lock → ``lock_footprint``)
+    A parent patch acquires an extra X lock on an unrelated object,
+    breaking the §4.2 at-most-two-distinct-objects claim.  The data
+    stays correct — only the footprint monitor can see this.
+
+``drop_trt_entry``      (ira → ``transparency``)
+    Find_Exact_Parents loses one TRT insert tuple whose parent the
+    reorganizer has not discovered any other way — precisely the race
+    the TRT exists to close (paper Lemma 3.2): a concurrently inserted
+    reference to the old address survives the migration, dangling.
+
+``unlogged_poke``       (ira → ``recovery_idempotence``)
+    After the run, a payload byte changes in the store without a log
+    record — committed state that recovery cannot reproduce.
+
+Each mutation keeps a ``triggered`` flag so a test can tell "oracle
+missed the bug" apart from "the schedule never exercised the bug".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..concurrency import LockMode
+from ..refs.trt import ACTION_INSERT
+
+
+class Mutation:
+    """One planted bug.  Subclasses override the hooks they need."""
+
+    name = ""
+    #: Reorganization algorithm the bug lives in.
+    algorithm = "ira"
+    #: The oracle that must report a violation when the bug bites.
+    expected_oracle = ""
+    description = ""
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.detail = ""
+
+    def install(self, engine, reorg) -> None:
+        """Plant the bug before the run starts."""
+
+    def post_run(self, engine, reorg) -> None:
+        """Damage applied after the run drains, before the oracles."""
+
+
+class SkipParentPatch(Mutation):
+    name = "skip_parent_patch"
+    algorithm = "ira"
+    expected_oracle = "transparency"
+    description = "one parent's pointer rewrite is skipped during a move"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._victim: Optional[object] = None
+
+    def install(self, engine, reorg) -> None:
+        original = reorg._parents_to_patch
+
+        # Pick the first migrated object that has parents and always skip
+        # its first parent — "always" so a deadlock-retried batch re-skips
+        # instead of silently healing the bug on the retry.
+        def patched(oid, parents):
+            out = original(oid, parents)
+            if self._victim is None and out:
+                self._victim = oid
+            if oid == self._victim and out:
+                self.triggered = True
+                self.detail = f"left {out[0]} pointing at {oid}"
+                return out[1:]
+            return out
+
+        reorg._parents_to_patch = patched
+
+
+class ThirdReorgLock(Mutation):
+    name = "third_reorg_lock"
+    algorithm = "ira-2lock"
+    expected_oracle = "lock_footprint"
+    description = "a parent patch grabs an X lock on an unrelated object"
+
+    def install(self, engine, reorg) -> None:
+        original = reorg._patch_slots
+
+        def patched(txn, holder, old_child, new_child):
+            # Only a real parent patch (not the anchor's self-reference
+            # fix-up), and only once — the flag flips *after* the grant,
+            # so a lock timeout on the extra object retries the bug
+            # instead of wasting it.
+            if not self.triggered and holder not in (old_child, new_child):
+                extra = self._pick_extra(engine, reorg,
+                                         (holder, old_child, new_child))
+                if extra is not None:
+                    yield from txn.lock(extra, LockMode.X)
+                    self.triggered = True
+                    self.detail = f"extra X lock on {extra}"
+            yield from original(txn, holder, old_child, new_child)
+
+        reorg._patch_slots = patched
+
+    @staticmethod
+    def _pick_extra(engine, reorg, busy):
+        for oid in engine.store.live_oids(reorg.partition_id):
+            if oid not in busy and oid not in reorg.in_flight.values():
+                return oid
+        return None
+
+
+class DropTrtEntry(Mutation):
+    name = "drop_trt_entry"
+    algorithm = "ira"
+    expected_oracle = "transparency"
+    description = "one TRT insert tuple is lost before Find_Exact_Parents"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._victim = None
+
+    def install(self, engine, reorg) -> None:
+        original_activate = engine.activate_trt
+        mutation = self
+
+        def activate(partition_id):
+            trt = original_activate(partition_id)
+            original_entries_for = trt.entries_for
+
+            # Hide the victim tuple *persistently*: the S2 drain loop
+            # re-reads entries_for until empty, so a one-shot hide would
+            # just delay the patch by one iteration.
+            def entries_for(child):
+                entries = original_entries_for(child)
+                if mutation._victim is None:
+                    for entry in sorted(entries, key=lambda e:
+                                        (e.parent, e.tid, e.seq)):
+                        if entry.action == ACTION_INSERT and \
+                                mutation._qualifies(entry, engine, reorg,
+                                                    child):
+                            mutation._victim = entry
+                            mutation.triggered = True
+                            mutation.detail = (
+                                f"hid TRT tuple {entry.parent} -> {child}")
+                            break
+                if mutation._victim is not None:
+                    entries = {e for e in entries
+                               if e != mutation._victim}
+                return entries
+
+            trt.entries_for = entries_for
+            return trt
+
+        engine.activate_trt = activate
+
+    @staticmethod
+    def _qualifies(entry, engine, reorg, child) -> bool:
+        # Only a tuple the reorganizer knows about through *no other
+        # channel* reproduces the real bug: the parent must be absent
+        # from the approximate parent list and from the ERT, else S1
+        # patches it anyway and the drop is harmless.
+        stable = reorg._mapping.get(entry.parent, entry.parent)
+        known = reorg._parents.get(child, set())
+        if entry.parent in known or stable in known:
+            return False
+        ert_parents = engine.ert_for(reorg.partition_id).parents_of(child)
+        return entry.parent not in ert_parents and stable not in ert_parents
+
+
+class UnloggedPoke(Mutation):
+    name = "unlogged_poke"
+    algorithm = "ira"
+    expected_oracle = "recovery_idempotence"
+    description = "a payload byte changes in the store with no log record"
+
+    def post_run(self, engine, reorg) -> None:
+        for oid in sorted(engine.store.all_live_oids()):
+            if len(engine.store.read_object(oid).payload) >= 4:
+                engine.store.set_payload_bytes(oid, 0, b"\xde\xad\xbe\xef")
+                self.triggered = True
+                self.detail = f"poked payload of {oid} without logging"
+                return
+
+
+MUTATIONS: Dict[str, Type[Mutation]] = {
+    cls.name: cls
+    for cls in (SkipParentPatch, ThirdReorgLock, DropTrtEntry, UnloggedPoke)
+}

@@ -1,0 +1,349 @@
+"""The oracle catalogue: every invariant an explored schedule must keep.
+
+Each oracle returns an :class:`OracleVerdict`; :func:`run_oracles` runs
+the whole suite over one finished run and returns the verdicts in a
+fixed order.  The oracles:
+
+``serializability``
+    Conflict-graph acyclicity over the observed read/write history
+    (:mod:`repro.explore.history`).
+
+``transparency``
+    The IRA transparency guarantee, generalized from the
+    graph-isomorphism test: the final database must equal a *no-reorg
+    twin* translated through the migration mapping.  The twin is built
+    by replay — take the pre-run image snapshot, translate every address
+    through the final mapping, and apply the committed non-reorganizer
+    physical log records (with their addresses translated the same way)
+    in LSN order.  If reorganization is transparent, that model equals
+    the real final store object-for-object; any skipped pointer rewrite,
+    lost update or resurrected stale reference shows up as a mismatch.
+
+``lock_footprint``
+    The §4.2 claim, monitored live: at most two distinct objects locked
+    by the reorganizer's transactions at any instant (the in-flight
+    old/new pair counts once).  Enforced for ``ira-2lock``; for basic
+    IRA the monitor records the peak only.
+
+``recovery_idempotence``
+    WAL soundness: flush, recover from the durable state, recover
+    *again* from the recovered engine's durable state — all three
+    (live, once-recovered, twice-recovered) must have the same
+    address-free graph signature, and the recovered engine must pass
+    its integrity sweep.
+
+``deep_verify``
+    The existing all-surface verifier (:func:`repro.verify.deep_verify`).
+
+``no_crash``
+    No process died with an unhandled exception during the schedule.
+
+The networkx graph helpers (:func:`object_graph`, :func:`relabeled`,
+:func:`graph_matches_under_mapping`) are the library home of the check
+``tests/test_graph_isomorphism.py`` originally implemented inline; the
+test now imports them from here so test and oracle cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sim import Simulator
+from ..verify import deep_verify
+from ..wal.records import (
+    BeginRecord,
+    CommitRecord,
+    ObjCreateRecord,
+    ObjDeleteRecord,
+    PayloadUpdateRecord,
+    RefUpdateRecord,
+)
+from .history import HistoryRecorder, check_serializability
+
+
+@dataclass
+class OracleVerdict:
+    """One oracle's answer for one explored schedule."""
+
+    name: str
+    ok: bool
+    at_ms: float
+    details: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "VIOLATION"
+        extra = f" ({self.details[0]})" if self.details and not self.ok else ""
+        return f"{self.name:>22}: {status}{extra}"
+
+
+# -- graph isomorphism (extracted from tests/test_graph_isomorphism.py) -------
+
+def object_graph(db):
+    """The database as a labeled multigraph (payload = node label).
+
+    ``db`` is anything with a ``.store`` (Database, StorageEngine) or an
+    object store itself.
+    """
+    import networkx as nx
+    store = getattr(db, "store", db)
+    graph = nx.MultiDiGraph()
+    for oid in store.all_live_oids():
+        image = store.read_object(oid)
+        graph.add_node(oid, payload=bytes(image.payload))
+        for slot, child in image.refs():
+            graph.add_edge(oid, child, slot=slot)
+    return graph
+
+
+def relabeled(graph, mapping):
+    """The graph with every node translated through ``mapping``."""
+    import networkx as nx
+    return nx.relabel_nodes(graph, lambda n: mapping.get(n, n), copy=True)
+
+
+def graph_matches_under_mapping(before, after, mapping) -> List[str]:
+    """Exact equality of ``after`` against ``before`` relabeled through
+    the migration mapping — stronger than isomorphism search.  Returns
+    the list of discrepancies (empty = match)."""
+    expected = relabeled(before, mapping)
+    problems: List[str] = []
+    missing = set(expected.nodes) - set(after.nodes)
+    extra = set(after.nodes) - set(expected.nodes)
+    if missing:
+        problems.append(f"objects missing after reorg: {sorted(missing)[:5]}")
+    if extra:
+        problems.append(f"unexpected objects after reorg: {sorted(extra)[:5]}")
+    for node in set(expected.nodes) & set(after.nodes):
+        if expected.nodes[node]["payload"] != after.nodes[node]["payload"]:
+            problems.append(f"payload of {node} changed")
+    expected_edges = sorted((u, v, d["slot"])
+                            for u, v, d in expected.edges(data=True))
+    actual_edges = sorted((u, v, d["slot"])
+                          for u, v, d in after.edges(data=True))
+    if expected_edges != actual_edges:
+        gone = set(expected_edges) - set(actual_edges)
+        born = set(actual_edges) - set(expected_edges)
+        problems.append(f"edges changed: -{sorted(gone)[:4]} "
+                        f"+{sorted(born)[:4]}")
+    return problems
+
+
+# -- lock footprint monitor ---------------------------------------------------
+
+class LockFootprintMonitor:
+    """Live monitor of the reorganizer's distinct-object lock footprint.
+
+    Installed as the lock manager's observer; on every grant to one of
+    the reorganizer's transactions it counts the distinct objects locked
+    across *all* of that reorganizer's active transactions, collapsing
+    the in-flight old/new address pair to one object (§4.2 counts the
+    migrating object once).  ``limit`` is the violation threshold
+    (``None`` = record the peak only — basic IRA makes no two-lock
+    claim).
+    """
+
+    def __init__(self, engine, reorg, limit: Optional[int] = None):
+        self.engine = engine
+        self.reorg = reorg
+        self.limit = limit
+        self.peak = 0
+        #: (at_ms, distinct_count, keys) per violation instant.
+        self.violations: List[tuple] = []
+
+    def install(self) -> "LockFootprintMonitor":
+        self.engine.locks.observer = self._on_event
+        return self
+
+    def _reorg_tids(self) -> List[int]:
+        txns = self.engine.txns
+        out = []
+        for tid in txns.active_tids():
+            txn = txns.transaction(tid)
+            if getattr(txn, "reorg_partition", None) == \
+                    self.reorg.partition_id:
+                out.append(tid)
+        return out
+
+    def _on_event(self, event, tid, key, mode) -> None:
+        if event != "grant" or not self.engine.txns.is_active(tid):
+            return
+        txn = self.engine.txns.transaction(tid)
+        if getattr(txn, "reorg_partition", None) != self.reorg.partition_id:
+            return
+        held = set()
+        for reorg_tid in self._reorg_tids():
+            held |= self.engine.locks.held_keys(reorg_tid)
+        in_flight = getattr(self.reorg, "in_flight", {})
+        collapse = {new: old for old, new in in_flight.items()}
+        distinct = {collapse.get(k, k) for k in held}
+        self.peak = max(self.peak, len(distinct))
+        if self.limit is not None and len(distinct) > self.limit:
+            self.violations.append((self.engine.sim.now, len(distinct),
+                                    sorted(str(k) for k in distinct)))
+
+
+# -- transparency (no-reorg twin by log replay) -------------------------------
+
+def check_transparency(engine, initial_images: Dict, start_lsn: int,
+                       mapping: Dict) -> List[str]:
+    """Compare the final store against the translated no-reorg model.
+
+    ``initial_images`` is the pre-run snapshot (oid -> ObjectImage
+    copy), ``start_lsn`` the log position it was taken at, ``mapping``
+    the union of every migration performed.  Returns discrepancies.
+    """
+    translate = lambda oid: mapping.get(oid, oid)  # noqa: E731
+
+    def translated(image):
+        out = image.copy()
+        for slot, child in out.refs():
+            out.set_ref(slot, translate(child))
+        return out
+
+    # Which transactions belong to a reorganizer (their records ARE the
+    # reorganization — the model excludes them), and which committed.
+    owned, committed = set(), set()
+    for record in engine.log.records():
+        if isinstance(record, BeginRecord) and record.is_system and \
+                record.owner_partition is not None:
+            owned.add(record.tid)
+        elif isinstance(record, CommitRecord):
+            committed.add(record.tid)
+
+    model = {translate(oid): translated(image)
+             for oid, image in initial_images.items()}
+    from ..storage import ObjectImage
+    for record in engine.log.records(from_lsn=start_lsn + 1):
+        if record.tid in owned or record.tid not in committed:
+            continue
+        if isinstance(record, PayloadUpdateRecord):
+            oid = translate(record.oid)
+            image = model.get(oid)
+            if image is None:
+                return [f"model has no object at {oid} for a committed "
+                        f"payload update (lsn {record.lsn})"]
+            body = image.payload
+            end = record.offset + len(record.after)
+            image.payload = body[:record.offset] + record.after + body[end:]
+        elif isinstance(record, RefUpdateRecord):
+            parent = translate(record.parent)
+            image = model.get(parent)
+            if image is None:
+                return [f"model has no object at {parent} for a committed "
+                        f"ref update (lsn {record.lsn})"]
+            image.set_ref(record.slot, translate(record.new_child))
+        elif isinstance(record, ObjCreateRecord):
+            model[translate(record.oid)] = translated(
+                ObjectImage.decode(record.image))
+        elif isinstance(record, ObjDeleteRecord):
+            model.pop(translate(record.oid), None)
+
+    store = engine.store
+    actual = {oid: store.read_object(oid) for oid in store.all_live_oids()}
+    problems: List[str] = []
+    missing = sorted(set(model) - set(actual))
+    extra = sorted(set(actual) - set(model))
+    if missing:
+        problems.append(f"objects in the no-reorg model but not the "
+                        f"store: {missing[:5]}")
+    if extra:
+        problems.append(f"objects in the store the no-reorg model never "
+                        f"made: {extra[:5]}")
+    for oid in set(model) & set(actual):
+        if model[oid] != actual[oid]:
+            want, got = model[oid], actual[oid]
+            kind = ("payload" if want.payload != got.payload else "refs")
+            problems.append(
+                f"{oid}: {kind} diverge from the no-reorg model "
+                f"(model refs {want.children()}, store {got.children()})")
+            if len(problems) >= 6:
+                break
+    return problems
+
+
+# -- recovery idempotence -----------------------------------------------------
+
+def check_recovery_idempotence(engine) -> List[str]:
+    """Flush, recover, recover again; all three states must agree."""
+    from ..engine import CrashImage, StorageEngine
+    from ..faults.chaos import graph_signature
+
+    engine.log.flush_now()
+    live_sig = graph_signature(engine)
+    image = CrashImage(durable_log=engine.log.durable_bytes(),
+                       snapshots=engine.snapshots, config=engine.config)
+    once = StorageEngine.recover(image, sim=Simulator())
+    problems: List[str] = []
+    integrity = once.verify_integrity()
+    if not integrity.ok:
+        problems.append(
+            f"recovered engine fails integrity: {integrity.problems()[:3]}")
+    once_sig = graph_signature(once)
+    if once_sig != live_sig:
+        problems.append("recovered state diverges from the live engine "
+                        "(some committed state never reached the WAL)")
+    once.log.flush_now()
+    image2 = CrashImage(durable_log=once.log.durable_bytes(),
+                        snapshots=once.snapshots, config=once.config)
+    twice = StorageEngine.recover(image2, sim=Simulator())
+    if graph_signature(twice) != once_sig:
+        problems.append("second recovery diverges from the first "
+                        "(recovery is not idempotent)")
+    return problems
+
+
+# -- the suite ---------------------------------------------------------------
+
+@dataclass
+class OracleContext:
+    """Everything the suite needs about one finished run."""
+
+    engine: object
+    reorg: object
+    history: Optional[HistoryRecorder]
+    monitor: Optional[LockFootprintMonitor]
+    initial_images: Dict
+    start_lsn: int
+    #: (process_name, repr(exception)) for every unhandled process death.
+    unhandled: List[tuple] = field(default_factory=list)
+    #: Skip the state-comparing oracles (run was killed mid-flight).
+    state_valid: bool = True
+
+
+def run_oracles(ctx: OracleContext) -> List[OracleVerdict]:
+    now = ctx.engine.sim.now
+    verdicts: List[OracleVerdict] = []
+
+    if ctx.history is not None:
+        report = check_serializability(ctx.history)
+        verdicts.append(OracleVerdict("serializability", report.ok, now,
+                                      report.problems()))
+
+    if ctx.state_valid:
+        mapping = dict(getattr(ctx.reorg.stats, "mapping", {}) or {})
+        problems = check_transparency(ctx.engine, ctx.initial_images,
+                                      ctx.start_lsn, mapping)
+        verdicts.append(OracleVerdict("transparency", not problems, now,
+                                      problems))
+
+    if ctx.monitor is not None:
+        violations = ctx.monitor.violations
+        details = [f"{count} distinct reorg locks at {at:.1f}ms: {keys}"
+                   for at, count, keys in violations[:3]]
+        at = violations[0][0] if violations else now
+        verdicts.append(OracleVerdict("lock_footprint", not violations, at,
+                                      details))
+
+    if ctx.state_valid:
+        problems = check_recovery_idempotence(ctx.engine)
+        verdicts.append(OracleVerdict("recovery_idempotence", not problems,
+                                      now, problems))
+
+        report = deep_verify(ctx.engine)
+        verdicts.append(OracleVerdict("deep_verify", report.ok, now,
+                                      report.problems()[:5]))
+
+    crashes = [f"{name}: {exc}" for name, exc in ctx.unhandled]
+    verdicts.append(OracleVerdict("no_crash", not crashes, now, crashes[:5]))
+    return verdicts

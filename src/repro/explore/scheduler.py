@@ -1,0 +1,195 @@
+"""Scheduler policies for schedule-space exploration.
+
+The sim kernel consults an installed :class:`~repro.sim.SchedulerPolicy`
+with the full same-timestamp ready set before every step (see
+``repro.sim.kernel``).  The policies here layer exploration on top of
+that hook:
+
+* :class:`TracingPolicy` — FIFO, but counts every consultation, records
+  the *choice points* (consultations with more than one ready callback)
+  and the non-FIFO decisions actually taken.  The recorded decision map
+  is the **schedule trace**: because the kernel and workload are
+  deterministic, replaying the same decisions reproduces the identical
+  run, tick for tick.
+* :class:`ReplayPolicy` — applies a fixed ``{consultation_index:
+  decision}`` map, FIFO everywhere else.  Used both to replay serialized
+  failure traces and to drive the explorer's depth-bounded systematic
+  deviations from the baseline schedule.
+* :class:`RandomWalkPolicy` — seeded random perturbations: permutes
+  same-timestamp ready sets and injects bounded preemptions by deferring
+  a callback a small simulated-time amount (which merges it into a later
+  ready set, exposing interleavings FIFO never produces).
+
+Traces serialize to plain JSON (:func:`encode_decisions` /
+:func:`decode_decisions`) so a failing schedule reproduces from a file
+in a fresh process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Tuple
+
+from ..sim import SchedulerPolicy
+
+#: A decision is ("run", index) or ("defer", index, delta_ms).
+Decision = Tuple
+FIFO: Decision = ("run", 0)
+
+
+class TracingPolicy(SchedulerPolicy):
+    """FIFO with full consultation accounting.
+
+    Subclasses override :meth:`decide`; this class guarantees that
+    whatever was *actually* decided lands in :attr:`decisions` (sparse:
+    FIFO decisions are the default and are not recorded), that
+    out-of-range indices are clamped to FIFO, and that choice points are
+    remembered for the systematic explorer.
+    """
+
+    def __init__(self) -> None:
+        self.consultations = 0
+        #: consultation_index -> non-FIFO decision actually applied.
+        self.decisions: Dict[int, Decision] = {}
+        #: consultation_index -> ready-set size, for every consultation
+        #: that offered a real choice (size > 1).
+        self.choice_points: Dict[int, int] = {}
+
+    def schedule(self, now: float, ready: list) -> Decision:
+        index = self.consultations
+        self.consultations += 1
+        if len(ready) > 1:
+            self.choice_points[index] = len(ready)
+        decision = self.decide(index, now, ready)
+        decision = self._clamp(decision, len(ready))
+        if decision != FIFO:
+            self.decisions[index] = decision
+        return decision
+
+    def decide(self, index: int, now: float, ready: list) -> Decision:
+        return FIFO
+
+    @staticmethod
+    def _clamp(decision: Decision, size: int) -> Decision:
+        kind = decision[0]
+        if kind == "run":
+            i = int(decision[1])
+            return ("run", i) if 0 <= i < size else FIFO
+        if kind == "defer":
+            i = int(decision[1])
+            if not 0 <= i < size:
+                return FIFO
+            return ("defer", i, max(float(decision[2]),
+                                    SchedulerPolicy.MIN_DEFER))
+        return FIFO
+
+    def trace_hash(self) -> str:
+        """Stable digest of the executed schedule, for deduplication."""
+        return hash_decisions(self.decisions)
+
+
+class ReplayPolicy(TracingPolicy):
+    """Apply a fixed decision map; FIFO at every other consultation.
+
+    Replays a serialized failure trace exactly (the kernel is
+    deterministic, so same decisions + same workload = same run), and
+    doubles as the systematic explorer's deviation driver.  Decisions
+    whose index never comes up, or that no longer fit the ready set, are
+    silently clamped to FIFO — the run is then simply a different (still
+    valid) schedule, visible via :meth:`trace_hash`.
+    """
+
+    def __init__(self, decisions: Dict[int, Decision]):
+        super().__init__()
+        self._plan = {int(k): tuple(v) for k, v in decisions.items()}
+
+    def decide(self, index: int, now: float, ready: list) -> Decision:
+        return self._plan.get(index, FIFO)
+
+
+class RandomWalkPolicy(TracingPolicy):
+    """Seeded random schedule perturbation.
+
+    With probability ``permute_prob``, run a uniformly random member of
+    a multi-element ready set instead of the FIFO head; with probability
+    ``defer_prob``, defer a random ready callback by up to
+    ``max_defer_ms`` of simulated time (a bounded preemption: the
+    deferred callback re-enters the queue later and races whatever is
+    scheduled there).  Fully deterministic for a given seed.
+    """
+
+    def __init__(self, seed: int, permute_prob: float = 0.4,
+                 defer_prob: float = 0.05, max_defer_ms: float = 2.0):
+        super().__init__()
+        import random
+        self._rng = random.Random(f"explore/random-walk/{seed}")
+        self.permute_prob = permute_prob
+        self.defer_prob = defer_prob
+        self.max_defer_ms = max_defer_ms
+
+    def decide(self, index: int, now: float, ready: list) -> Decision:
+        rng = self._rng
+        if len(ready) > 1 and rng.random() < self.permute_prob:
+            return ("run", rng.randrange(len(ready)))
+        if rng.random() < self.defer_prob:
+            return ("defer", rng.randrange(len(ready)),
+                    rng.uniform(0.01, self.max_defer_ms))
+        return FIFO
+
+
+# -- trace serialization ------------------------------------------------------
+
+def encode_decisions(decisions: Dict[int, Decision]) -> Dict[str, list]:
+    """JSON-safe form of a decision map (keys become strings)."""
+    return {str(index): list(decision)
+            for index, decision in sorted(decisions.items())}
+
+
+def decode_decisions(data: Dict[str, list]) -> Dict[int, Decision]:
+    return {int(index): tuple(decision)
+            for index, decision in data.items()}
+
+
+def hash_decisions(decisions: Dict[int, Decision]) -> str:
+    payload = json.dumps(encode_decisions(decisions), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def systematic_deviations(choice_points: Dict[int, int], depth: int,
+                          max_points: int = 64):
+    """Depth-bounded systematic reordering of same-time ready sets.
+
+    Yields decision maps that differ from the FIFO baseline at up to
+    ``depth`` of the baseline's choice points, running a non-head member
+    there.  Depth-1 deviations come first (every alternative at every
+    considered choice point), then depth-2 combinations, …  Deeper
+    decisions apply to an already-diverged execution, so their indices
+    are best-effort — the clamp in :class:`TracingPolicy` keeps every
+    combination a valid schedule.
+
+    Lazy on purpose: a run can have thousands of choice points and the
+    combination count is exponential in ``depth``; the caller consumes
+    only as many deviations as its budget allows.  ``max_points`` bounds
+    the choice points considered (earliest first — the early ready sets
+    decide process startup order, where reorderings bite hardest).
+    """
+    points = sorted(choice_points.items())[:max_points]
+    singles: List[Tuple[int, Decision]] = [
+        (index, ("run", alt))
+        for index, size in points for alt in range(1, size)]
+    previous: List[List[Tuple[int, Decision]]] = []
+    for single in singles:
+        yield dict([single])
+        previous.append([single])
+    for _ in range(2, depth + 1):
+        layer: List[List[Tuple[int, Decision]]] = []
+        for combo in previous:
+            last_index = combo[-1][0]
+            for single in singles:
+                if single[0] > last_index:
+                    yield dict(combo + [single])
+                    layer.append(combo + [single])
+        previous = layer
+        if not previous:
+            break

@@ -5,7 +5,8 @@ paper's threaded performance study is reproduced on a simulator.
 """
 
 from .errors import ProcessKilled, SimError, SimulationDeadlock, WaitTimeout
-from .kernel import Delay, Event, Process, Simulator, Wait
+from .kernel import (Delay, Event, Process, ScheduleEntry, SchedulerPolicy,
+                     Simulator, Wait)
 from .resources import CpuMeter, Mutex, Resource
 
 __all__ = [
@@ -16,6 +17,8 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "Resource",
+    "ScheduleEntry",
+    "SchedulerPolicy",
     "SimError",
     "SimulationDeadlock",
     "Simulator",

@@ -37,12 +37,59 @@ Example::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterator, Optional
+from typing import Any, Callable, Generator, Iterator, NamedTuple, Optional
 
 from .errors import ProcessKilled, SimulationDeadlock, WaitTimeout
 
 #: Type alias for the generators the kernel schedules.
 ProcessGenerator = Generator[Any, Any, Any]
+
+
+class ScheduleEntry(NamedTuple):
+    """A scheduler policy's read-only view of one queued callback.
+
+    ``seq`` is the kernel's tie-break sequence number: it is assigned by
+    ``call_later`` in strictly increasing order, so at equal timestamps
+    the default execution order is exactly the order in which callbacks
+    were scheduled (and therefore stable under process spawn order).
+    Policies identify entries by ``seq``; ``label`` names the process (or
+    subsystem) the callback belongs to, for traces and debugging.
+    """
+
+    when: float
+    seq: int
+    label: str
+
+
+class SchedulerPolicy:
+    """Pluggable same-timestamp scheduling for :class:`Simulator`.
+
+    When a policy is installed (``sim.set_policy``), every time the
+    kernel is about to run a callback it gathers *all* queued callbacks
+    sharing the earliest timestamp (the *ready set*, sorted by ``seq``)
+    and asks the policy for a decision:
+
+    * ``("run", index)`` — run ``ready[index]`` now; the rest of the
+      ready set goes back on the queue untouched.
+    * ``("defer", index, delta)`` — push ``ready[index]`` ``delta`` time
+      units into the future (a bounded preemption at a yield point) and
+      ask again.  ``delta`` is clamped to a small positive minimum so a
+      defer always makes progress.
+
+    The default implementation reproduces the kernel's native FIFO
+    tie-break (lowest ``seq`` first), so installing the base class is a
+    no-op behaviourally.  Deterministic replay works because, given the
+    same decision sequence, the kernel's state evolution — including the
+    ``seq`` counter — is identical.
+    """
+
+    #: Smallest defer the kernel will honour (keeps defers from looping
+    #: at the same timestamp forever).
+    MIN_DEFER = 1e-6
+
+    def schedule(self, now: float, ready: list) -> tuple:
+        """Return a decision for the ready set; see the class docstring."""
+        return ("run", 0)
 
 
 class Delay:
@@ -93,7 +140,7 @@ class Event:
         self._fired = False
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._waiters: list[Callable[[], None]] = []
+        self._waiters: list[tuple[Callable[[], None], str]] = []
 
     @property
     def fired(self) -> bool:
@@ -129,22 +176,23 @@ class Event:
         # Resume via the scheduler, never synchronously: the firing code
         # (e.g. a lock release inside transaction cleanup) must finish its
         # own critical section before any waiter observes the new state.
-        for resume in waiters:
-            self.sim.call_soon(resume)
+        for resume, label in waiters:
+            self.sim.call_soon(resume, label=label)
 
-    def _add_waiter(self, resume: Callable[[], None]) -> None:
+    def _add_waiter(self, resume: Callable[[], None],
+                    label: str = "") -> None:
         if self._fired:
             # Already fired: resume on the next scheduler step so the
             # caller's generator frame has returned first.
-            self.sim.call_soon(resume)
+            self.sim.call_soon(resume, label=label)
         else:
-            self._waiters.append(resume)
+            self._waiters.append((resume, label))
 
     def _remove_waiter(self, resume: Callable[[], None]) -> None:
-        try:
-            self._waiters.remove(resume)
-        except ValueError:
-            pass
+        for index, (waiter, _label) in enumerate(self._waiters):
+            if waiter is resume:
+                del self._waiters[index]
+                return
 
     def __repr__(self) -> str:
         state = "fired" if self._fired else "pending"
@@ -230,7 +278,7 @@ class Process:
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Delay):
-            self.sim.call_later(command.dt, self._step)
+            self.sim.call_later(command.dt, self._step, label=self.name)
         elif isinstance(command, Wait):
             self._wait(command.event, command.timeout)
         elif isinstance(command, Event):
@@ -265,7 +313,7 @@ class Process:
             state["settled"] = True
             event._remove_waiter(resume)
 
-        event._add_waiter(resume)
+        event._add_waiter(resume, label=self.name)
         self._wait_cancel = cancel
         if timeout is not None:
             def on_timeout() -> None:
@@ -276,7 +324,8 @@ class Process:
                 event._remove_waiter(resume)
                 self._step(throw=WaitTimeout(
                     f"process {self.name} timed out waiting for {event!r}"))
-            self.sim.call_later(timeout, on_timeout)
+            self.sim.call_later(timeout, on_timeout,
+                                label=f"timeout:{self.name}")
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"
@@ -284,35 +333,68 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of callbacks."""
+    """The event loop: a clock plus a priority queue of callbacks.
+
+    **Tie-break determinism.**  Queue entries are ordered by
+    ``(when, seq)``: ``seq`` is a strictly increasing sequence number
+    assigned at scheduling time, so callbacks that share a timestamp run
+    in the order they were scheduled.  In particular, processes spawned
+    at the same simulated time start in spawn order, and two events fired
+    at the same instant resume their waiters in registration order.  The
+    tie-break is exposed to scheduler policies as
+    :attr:`ScheduleEntry.seq`, which is what makes a policy's
+    permutations of a same-timestamp ready set well-defined and
+    replayable.
+
+    **Scheduler policies.**  ``set_policy`` installs a
+    :class:`SchedulerPolicy` consulted at every step with the full
+    same-timestamp ready set; see that class for the decision contract.
+    With no policy installed (the default) the kernel pops the heap
+    directly — the FIFO tie-break above.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[[], None], str]] = []
         self._live_processes: set[Process] = set()
         self._unhandled: list[tuple[Process, BaseException]] = []
         self._proc_counter = 0
+        self._policy: Optional[SchedulerPolicy] = None
 
     @property
     def now(self) -> float:
         """Current simulated time (milliseconds by library convention)."""
         return self._now
 
+    @property
+    def policy(self) -> Optional[SchedulerPolicy]:
+        return self._policy
+
+    def set_policy(self, policy: Optional[SchedulerPolicy]) -> None:
+        """Install (or, with ``None``, remove) a scheduler policy."""
+        self._policy = policy
+
     def event(self, name: str = "") -> Event:
         """Create a fresh one-shot :class:`Event` bound to this simulator."""
         return Event(self, name=name)
 
-    def call_soon(self, fn: Callable[[], None]) -> None:
+    def call_soon(self, fn: Callable[[], None], label: str = "") -> None:
         """Schedule ``fn`` at the current time (after pending callbacks)."""
-        self.call_later(0.0, fn)
+        self.call_later(0.0, fn, label=label)
 
-    def call_later(self, dt: float, fn: Callable[[], None]) -> None:
-        """Schedule ``fn`` to run ``dt`` time units from now."""
+    def call_later(self, dt: float, fn: Callable[[], None],
+                   label: str = "") -> None:
+        """Schedule ``fn`` to run ``dt`` time units from now.
+
+        ``label`` names the callback for scheduler policies and traces
+        (process callbacks carry their process name).  Equal-time
+        callbacks run in scheduling order — see the class docstring.
+        """
         if dt < 0:
             raise ValueError(f"negative delay: {dt!r}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + dt, self._seq, fn))
+        heapq.heappush(self._queue, (self._now + dt, self._seq, fn, label))
 
     def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
         """Register a generator as a process; it starts on the next step."""
@@ -321,8 +403,45 @@ class Simulator:
         self._proc_counter += 1
         proc = Process(self, gen, name or f"proc-{self._proc_counter}")
         self._live_processes.add(proc)
-        self.call_soon(proc._step)
+        self.call_soon(proc._step, label=proc.name)
         return proc
+
+    def _pop_next(self) -> Optional[tuple[float, int, Callable[[], None], str]]:
+        """Pop the callback to run next, honouring the installed policy.
+
+        Returns ``None`` if the queue drained (possible when a policy
+        defers the only ready entry and nothing else is queued — it then
+        reappears at a later timestamp, so the caller just loops).
+        """
+        if self._policy is None:
+            return heapq.heappop(self._queue)
+        while self._queue:
+            when = self._queue[0][0]
+            ready: list[tuple[float, int, Callable[[], None], str]] = []
+            while self._queue and self._queue[0][0] == when:
+                ready.append(heapq.heappop(self._queue))
+            while ready:
+                view = [ScheduleEntry(e[0], e[1], e[3]) for e in ready]
+                decision = self._policy.schedule(when, view)
+                kind = decision[0]
+                if kind == "defer":
+                    _, index, delta = decision
+                    delta = max(float(delta), SchedulerPolicy.MIN_DEFER)
+                    entry = ready.pop(index)
+                    heapq.heappush(self._queue, (when + delta, entry[1],
+                                                 entry[2], entry[3]))
+                    continue
+                if kind != "run":
+                    raise ValueError(
+                        f"scheduler policy returned unknown decision "
+                        f"{decision!r}")
+                chosen = ready.pop(decision[1])
+                for entry in ready:
+                    heapq.heappush(self._queue, entry)
+                return chosen
+            # Every ready entry was deferred; re-examine the queue, whose
+            # earliest timestamp has moved forward.
+        return None
 
     def run(self, until: Optional[float] = None,
             raise_unhandled: bool = True) -> float:
@@ -333,11 +452,20 @@ class Simulator:
         bugs do not pass silently.
         """
         while self._queue:
-            when, _, fn = self._queue[0]
+            when = self._queue[0][0]
             if until is not None and when > until:
                 self._now = until
                 break
-            heapq.heappop(self._queue)
+            entry = self._pop_next()
+            if entry is None:
+                continue
+            when, _, fn, _label = entry
+            if until is not None and when > until:
+                # A policy deferred past the horizon; put the callback
+                # back and stop at the horizon, as the pre-pop check does.
+                heapq.heappush(self._queue, entry)
+                self._now = until
+                break
             self._now = when
             fn()
             if raise_unhandled and self._unhandled:

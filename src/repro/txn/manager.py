@@ -61,6 +61,9 @@ class TransactionManager:
                              else reorg_partition)))
         txn.last_lsn = self.engine.log.last_lsn
         self.started += 1
+        history = getattr(self.engine, "history", None)
+        if history is not None:
+            history.record_begin(txn)
         return txn
 
     def finish(self, txn: Transaction) -> None:
@@ -76,6 +79,9 @@ class TransactionManager:
             self.committed += 1
         else:
             self.aborted += 1
+        history = getattr(self.engine, "history", None)
+        if history is not None:
+            history.record_end(txn)
 
     # -- queries / waits ----------------------------------------------------------
 

@@ -98,6 +98,7 @@ class Transaction:
         image = self.engine.store.read_object(oid)
         self.local_refs.update(image.children())
         self.local_refs.add(oid)
+        self._note("r", oid)
         self.ops += 1
         if not self.strict and not for_update and not \
                 self.engine.locks.holds(self.tid, oid, LockMode.X):
@@ -114,6 +115,7 @@ class Transaction:
         yield from self.engine.fix_page(oid, dirty=True)
         yield from self._cpu(self.engine.config.cpu_update_extra_ms)
         before = self.engine.store.get_payload(oid)[offset:offset + len(data)]
+        self._note("w", oid)
         self._log_and_apply(PayloadUpdateRecord(
             self.tid, self.last_lsn, oid=oid, offset=offset,
             before=bytes(before), after=bytes(data)))
@@ -136,6 +138,7 @@ class Transaction:
         if old is not None:
             raise ReferenceProtocolError(
                 f"slot {use_slot} of {parent} already holds {old}")
+        self._note("w", parent)
         self._log_and_apply(RefUpdateRecord(
             self.tid, self.last_lsn, parent=parent, slot=use_slot,
             old_child=None, new_child=child))
@@ -158,6 +161,7 @@ class Transaction:
                 f"{parent} holds no reference to {child}")
         use_slot = slots[0]
         self.local_refs.add(child)
+        self._note("w", parent)
         self._log_and_apply(RefUpdateRecord(
             self.tid, self.last_lsn, parent=parent, slot=use_slot,
             old_child=child, new_child=None))
@@ -183,6 +187,7 @@ class Transaction:
         old_child = self.engine.store.get_ref(parent, slot)
         if old_child is not None:
             self.local_refs.add(old_child)
+        self._note("w", parent)
         self._log_and_apply(RefUpdateRecord(
             self.tid, self.last_lsn, parent=parent, slot=slot,
             old_child=old_child, new_child=new_child))
@@ -201,6 +206,7 @@ class Transaction:
                                                 fresh_only=fresh_only)
         yield from self.lock(oid, LockMode.X)
         yield from self.engine.fix_page(oid, dirty=True)
+        self._note("w", oid)
         self._log(ObjCreateRecord(self.tid, self.last_lsn, oid=oid,
                                   image=image.encode()))
         self.engine.store.set_page_lsn(oid, self.last_lsn)
@@ -227,6 +233,7 @@ class Transaction:
         # Apply first: an oversized image must fail *before* anything is
         # logged, leaving the transaction clean to continue.
         self.engine.store.replace_object(oid, image)
+        self._note("w", oid)
         self._log(ObjDeleteRecord(self.tid, self.last_lsn, oid=oid,
                                   before_image=before))
         lsn = self._log(ObjCreateRecord(self.tid, self.last_lsn, oid=oid,
@@ -243,6 +250,7 @@ class Transaction:
         yield from self._cpu(self.engine.config.cpu_update_extra_ms
                              if cpu_ms is None else cpu_ms)
         before = self.engine.store.read_raw(oid)
+        self._note("w", oid)
         self._log(ObjDeleteRecord(self.tid, self.last_lsn, oid=oid,
                                   before_image=bytes(before)))
         self.engine.store.free_object(oid)
@@ -291,6 +299,13 @@ class Transaction:
     def _cpu(self, duration: float) -> Generator[Any, Any, None]:
         if duration > 0:
             yield from self.engine.cpu.use(duration)
+
+    def _note(self, action: str, oid: Oid) -> None:
+        """Feed one observed access into the engine's history recorder
+        (``repro.explore``'s serializability oracle); no-op otherwise."""
+        history = getattr(self.engine, "history", None)
+        if history is not None:
+            history.record(self, action, oid)
 
     def _log(self, record: LogRecord) -> int:
         lsn = self.engine.log.append(record)

@@ -1,0 +1,227 @@
+"""Kernel tie-break determinism + the scheduler-policy/trace machinery."""
+
+import pytest
+
+from repro.sim import Delay, ScheduleEntry, SchedulerPolicy, Simulator
+from repro.explore import (
+    RandomWalkPolicy,
+    ReplayPolicy,
+    TracingPolicy,
+    decode_decisions,
+    encode_decisions,
+    hash_decisions,
+    systematic_deviations,
+)
+
+
+# -- kernel tie-break ---------------------------------------------------------
+
+def test_same_timestamp_callbacks_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.call_later(5.0, lambda n=name: order.append(n), label=name)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_spawn_order_is_start_order_at_equal_time():
+    sim = Simulator()
+    started = []
+
+    def proc(name):
+        started.append(name)
+        yield Delay(1.0)
+
+    for name in ("first", "second", "third"):
+        sim.spawn(proc(name), name=name)
+    sim.run()
+    assert started == ["first", "second", "third"]
+
+
+def test_tiebreak_seq_is_strictly_increasing_and_exposed():
+    sim = Simulator()
+    seen = []
+
+    class Recorder(SchedulerPolicy):
+        def schedule(self, now, ready):
+            seen.append([entry for entry in ready])
+            return ("run", 0)
+
+    sim.set_policy(Recorder())
+    for name in "ab":
+        sim.call_later(1.0, lambda: None, label=name)
+    sim.run()
+    # First consultation sees both same-timestamp entries, FIFO-sorted.
+    assert [entry.label for entry in seen[0]] == ["a", "b"]
+    assert all(isinstance(entry, ScheduleEntry) for entry in seen[0])
+    assert seen[0][0].seq < seen[0][1].seq
+    assert seen[0][0].when == seen[0][1].when == 1.0
+
+
+def test_base_policy_reproduces_fifo():
+    def run(policy):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield Delay(delay)
+            order.append(name)
+
+        for index, name in enumerate("abcdef"):
+            sim.spawn(proc(name, (index % 2) * 3.0), name=name)
+        if policy is not None:
+            sim.set_policy(policy)
+        sim.run()
+        return order
+
+    assert run(None) == run(SchedulerPolicy())
+
+
+def test_policy_run_decision_permutes_ready_set():
+    sim = Simulator()
+    order = []
+
+    class LIFO(SchedulerPolicy):
+        def schedule(self, now, ready):
+            return ("run", len(ready) - 1)
+
+    sim.set_policy(LIFO())
+    for name in "abc":
+        sim.call_later(1.0, lambda n=name: order.append(n), label=name)
+    sim.run()
+    assert order == ["c", "b", "a"]
+
+
+def test_policy_defer_moves_callback_later():
+    sim = Simulator()
+    order = []
+
+    class DeferA(SchedulerPolicy):
+        def __init__(self):
+            self.done = False
+
+        def schedule(self, now, ready):
+            if not self.done and ready[0].label == "a":
+                self.done = True
+                return ("defer", 0, 10.0)
+            return ("run", 0)
+
+    sim.set_policy(DeferA())
+    for name in "ab":
+        sim.call_later(1.0, lambda n=name: order.append((n, sim.now)),
+                       label=name)
+    sim.run()
+    assert order == [("b", 1.0), ("a", 11.0)]
+
+
+def test_policy_defer_zero_still_progresses():
+    sim = Simulator()
+    ran = []
+
+    class AlwaysDeferFirstOnce(SchedulerPolicy):
+        def __init__(self):
+            self.defers = 0
+
+        def schedule(self, now, ready):
+            if self.defers < 3:
+                self.defers += 1
+                return ("defer", 0, 0.0)  # clamped to MIN_DEFER
+            return ("run", 0)
+
+    sim.set_policy(AlwaysDeferFirstOnce())
+    sim.call_later(1.0, lambda: ran.append(sim.now), label="x")
+    sim.run()
+    assert len(ran) == 1 and ran[0] > 1.0
+
+
+def test_unknown_decision_rejected():
+    sim = Simulator()
+
+    class Bad(SchedulerPolicy):
+        def schedule(self, now, ready):
+            return ("sideways", 0)
+
+    sim.set_policy(Bad())
+    sim.call_soon(lambda: None)
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+# -- tracing / replay policies ------------------------------------------------
+
+def _drive(policy):
+    """A tiny three-process scenario with same-time collisions."""
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        for step in range(3):
+            yield Delay(2.0)
+            order.append((name, step, sim.now))
+
+    for name in ("p0", "p1", "p2"):
+        sim.spawn(proc(name), name=name)
+    sim.set_policy(policy)
+    sim.run()
+    return order
+
+
+def test_tracing_policy_records_choice_points_and_is_fifo():
+    policy = TracingPolicy()
+    order = _drive(policy)
+    assert order == _drive(TracingPolicy())  # deterministic
+    assert policy.consultations > 0
+    assert policy.choice_points  # three processes collide at every tick
+    assert policy.decisions == {}  # pure FIFO records nothing
+
+
+def test_random_walk_replays_identically_from_trace():
+    walk = RandomWalkPolicy(seed=3, permute_prob=0.9, defer_prob=0.2)
+    order = _drive(walk)
+    assert walk.decisions  # the walk actually deviated
+    replay = ReplayPolicy(dict(walk.decisions))
+    assert _drive(replay) == order
+    assert replay.trace_hash() == walk.trace_hash()
+    # And a different seed produces a different schedule.
+    other = RandomWalkPolicy(seed=4, permute_prob=0.9, defer_prob=0.2)
+    assert _drive(other) != order or other.decisions != walk.decisions
+
+
+def test_out_of_range_replay_decisions_clamp_to_fifo():
+    baseline = _drive(TracingPolicy())
+    wild = ReplayPolicy({0: ("run", 99), 2: ("defer", 42, 1.0),
+                         10_000: ("run", 1)})
+    assert _drive(wild) == baseline
+    assert wild.decisions == {}  # everything clamped back to FIFO
+
+
+def test_trace_serialization_round_trip():
+    decisions = {3: ("run", 2), 17: ("defer", 0, 1.5)}
+    encoded = encode_decisions(decisions)
+    assert all(isinstance(key, str) for key in encoded)
+    assert decode_decisions(encoded) == decisions
+    assert hash_decisions(decisions) == hash_decisions(dict(decisions))
+    assert hash_decisions(decisions) != hash_decisions({3: ("run", 1)})
+
+
+def test_systematic_deviations_enumeration():
+    points = {5: 3, 9: 2}  # sizes: 3 alternatives at 5 → 2, at 9 → 1
+    depth1 = list(systematic_deviations(points, depth=1))
+    assert depth1 == [{5: ("run", 1)}, {5: ("run", 2)}, {9: ("run", 1)}]
+    depth2 = list(systematic_deviations(points, depth=2))
+    # Depth-1 deviations first, then ordered index-increasing pairs.
+    assert depth2[:3] == depth1
+    assert {5: ("run", 1), 9: ("run", 1)} in depth2
+    assert {5: ("run", 2), 9: ("run", 1)} in depth2
+    assert len(depth2) == 3 + 2
+
+
+def test_systematic_deviations_is_lazy_and_capped():
+    huge = {index: 4 for index in range(10_000)}
+    gen = systematic_deviations(huge, depth=3, max_points=8)
+    first = next(gen)
+    assert first == {0: ("run", 1)}
+    # Only the earliest max_points choice points are considered.
+    taken = [dev for _, dev in zip(range(100), gen)]
+    assert all(max(dev) < 8 for dev in taken)

@@ -4,6 +4,10 @@ The suite's ``graph_signature`` canonicalization is itself code under
 test; these tests verify the stronger property directly — the labeled
 object graph before and after a reorganization is isomorphic under the
 migration mapping — using networkx as an independent oracle.
+
+The graph helpers live in :mod:`repro.explore.oracles` (the explorer's
+transparency machinery); importing them here keeps the test and the
+oracle from drifting apart.
 """
 
 import networkx as nx
@@ -16,21 +20,11 @@ from repro import (
     ReorgConfig,
     WorkloadConfig,
 )
-
-
-def object_graph(db) -> nx.MultiDiGraph:
-    """The database as a labeled multigraph (payload = node label)."""
-    graph = nx.MultiDiGraph()
-    for oid in db.store.all_live_oids():
-        image = db.store.read_object(oid)
-        graph.add_node(oid, payload=bytes(image.payload))
-        for slot, child in image.refs():
-            graph.add_edge(oid, child, slot=slot)
-    return graph
-
-
-def relabeled(graph: nx.MultiDiGraph, mapping) -> nx.MultiDiGraph:
-    return nx.relabel_nodes(graph, lambda n: mapping.get(n, n), copy=True)
+from repro.explore.oracles import (
+    graph_matches_under_mapping,
+    object_graph,
+    relabeled,
+)
 
 
 @pytest.fixture
@@ -58,6 +52,8 @@ def test_reorg_graph_isomorphic_under_mapping(db_layout, algorithm):
     actual_edges = sorted((u, v, d["slot"])
                           for u, v, d in after.edges(data=True))
     assert expected_edges == actual_edges
+    # The library form of the same check must agree.
+    assert graph_matches_under_mapping(before, after, stats.mapping) == []
 
 
 def test_evacuation_graph_isomorphic(db_layout):
@@ -70,6 +66,7 @@ def test_evacuation_graph_isomorphic(db_layout):
     assert nx.utils.graphs_equal(
         nx.MultiDiGraph(expected), nx.MultiDiGraph(after)) or \
         sorted(expected.edges) == sorted(after.edges)
+    assert graph_matches_under_mapping(before, after, stats.mapping) == []
 
 
 def test_graph_connectivity_preserved(db_layout):
