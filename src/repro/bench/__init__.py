@@ -1,5 +1,12 @@
 """Benchmark harness reproducing the paper's tables and figures."""
 
+from .baseline import (
+    compare_figure,
+    figure_payload,
+    load_baseline,
+    new_baseline,
+    save_baseline,
+)
 from .harness import (
     SCALES,
     BenchPoint,
@@ -15,6 +22,11 @@ from .harness import (
 )
 
 __all__ = [
+    "compare_figure",
+    "figure_payload",
+    "load_baseline",
+    "new_baseline",
+    "save_baseline",
     "SCALES",
     "BenchPoint",
     "BenchScale",

@@ -92,6 +92,9 @@ class BenchPoint:
     algorithm: str
     metrics: ExperimentMetrics
     overrides: Dict[str, object] = field(default_factory=dict)
+    #: Kernel counters captured at the end of the run (events dispatched,
+    #: timers scheduled/cancelled, heap peak) — see ``Simulator.counters``.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -131,7 +134,8 @@ def run_point(algorithm: str, workload: WorkloadConfig,
     if not report.ok:
         raise AssertionError(
             f"integrity violated after {algorithm}: {report.problems()[:3]}")
-    return BenchPoint(algorithm=algorithm, metrics=metrics)
+    return BenchPoint(algorithm=algorithm, metrics=metrics,
+                      counters=db.engine.sim.counters())
 
 
 def run_three_way(workload: WorkloadConfig,

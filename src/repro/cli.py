@@ -46,15 +46,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .bench import (
     SCALES,
     base_workload,
+    compare_figure,
+    figure_payload,
     format_contention,
     format_series,
     format_table2,
+    load_baseline,
+    new_baseline,
     run_three_way,
+    save_baseline,
 )
 from .config import ExperimentConfig, ReorgConfig, SystemConfig, WorkloadConfig
 from .core import CompactionPlan
@@ -109,14 +115,13 @@ def cmd_demo(args) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_bench(args) -> int:
-    workload = base_workload(SCALES[args.scale], mpl=30)
+def _bench_figure(args, workload):
+    """Run the requested experiment; returns (rendered text, figure
+    payload for --json/--compare)."""
     if args.experiment == "table2":
         points = run_three_way(workload, scale=SCALES[args.scale])
-        print(format_table2(points))
-        print()
-        print(format_contention(points))
-        return 0
+        text = format_table2(points) + "\n\n" + format_contention(points)
+        return text, figure_payload(points, 0.0)
     sweeps = {
         "mpl": ("mpl", SCALES[args.scale].mpl_points),
         "partition-size": ("objects_per_partition",
@@ -130,17 +135,74 @@ def cmd_bench(args) -> int:
         rows[value] = run_three_way(workload.copy(**{field: value}),
                                     scale=SCALES[args.scale])
         print(f"  {field}={value} done", file=sys.stderr)
-    print(format_series(
+    text = format_series(
         f"{args.experiment} sweep - Throughput (tps)", field, list(points),
         {name.upper(): [rows[v][name].throughput for v in points]
-         for name in ("nr", "ira", "pqr")}))
-    print()
-    print(format_series(
+         for name in ("nr", "ira", "pqr")})
+    text += "\n\n" + format_series(
         f"{args.experiment} sweep - Avg Response Time (ms)", field,
         list(points),
         {name.upper(): [rows[v][name].art for v in points]
          for name in ("nr", "ira", "pqr")},
-        y_format="{:9.0f}"))
+        y_format="{:9.0f}")
+    payload = {
+        "wall_clock_s": 0.0,
+        "metrics": {str(value): {name: rows[value][name].metrics.summary()
+                                 for name in ("nr", "ira", "pqr")}
+                    for value in points},
+        "counters": {str(value): {name: rows[value][name].counters
+                                  for name in ("nr", "ira", "pqr")}
+                     for value in points},
+    }
+    return text, payload
+
+
+def cmd_bench(args) -> int:
+    workload = base_workload(SCALES[args.scale], mpl=30)
+    figure_key = f"{args.experiment}/{args.scale}"
+
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    start = time.perf_counter()
+    text, payload = _bench_figure(args, workload)
+    payload["wall_clock_s"] = round(time.perf_counter() - start, 3)
+    if profiler is not None:
+        profiler.disable()
+
+    print(text)
+    print(f"\n[{figure_key}] wall-clock {payload['wall_clock_s']:.2f}s",
+          file=sys.stderr)
+
+    if profiler is not None:
+        import pstats
+        print(f"\ncProfile hotspots (top {args.profile} by total time):")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("tottime").print_stats(args.profile)
+
+    if args.json:
+        try:
+            data = load_baseline(args.json)
+        except (OSError, ValueError):
+            data = new_baseline()
+        data["figures"][figure_key] = payload
+        save_baseline(args.json, data)
+        print(f"wrote {figure_key} to {args.json}", file=sys.stderr)
+
+    if args.compare:
+        baseline = load_baseline(args.compare)
+        problems = compare_figure(figure_key, payload, baseline,
+                                  max_regress_pct=args.max_regress)
+        if problems:
+            for problem in problems:
+                print(f"BENCH REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        base_wall = baseline["figures"][figure_key]["wall_clock_s"]
+        print(f"bench-smoke OK: {payload['wall_clock_s']:.2f}s vs baseline "
+              f"{base_wall:.2f}s (+{args.max_regress:.0f}% allowed), "
+              f"simulated metrics identical", file=sys.stderr)
     return 0
 
 
@@ -311,6 +373,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiment",
                        choices=["table2", "mpl", "partition-size",
                                 "update-prob"])
+    bench.add_argument("--profile", type=int, nargs="?", const=25,
+                       default=0, metavar="N",
+                       help="run under cProfile and print the top N "
+                            "hotspots by total time (default N=25)")
+    bench.add_argument("--json", metavar="FILE",
+                       help="record wall-clock, simulated metrics and "
+                            "kernel counters into a BENCH_*.json baseline "
+                            "(merged into FILE if it exists)")
+    bench.add_argument("--compare", metavar="FILE",
+                       help="compare against a committed BENCH_*.json; "
+                            "exit 1 on wall-clock regression beyond "
+                            "--max-regress or any simulated-metric drift")
+    bench.add_argument("--max-regress", type=float, default=50.0,
+                       metavar="PCT",
+                       help="allowed wall-clock regression vs the "
+                            "--compare baseline, percent (default 50)")
     bench.add_argument("--scale", default="quick",
                        choices=sorted(SCALES))
     bench.set_defaults(fn=cmd_bench)

@@ -107,10 +107,14 @@ class LockManager:
 
     # -- acquisition ---------------------------------------------------------
 
-    def acquire(self, tid: int, key, mode: LockMode,
-                timeout_ms: Optional[float] = None):
-        """Blocking acquire (generator).  Raises :class:`LockTimeoutError`
-        if not granted within the timeout."""
+    def try_acquire(self, tid: int, key, mode: LockMode) -> bool:
+        """Synchronous fast path: grant immediately if possible.
+
+        Counts the request either way.  Returns ``False`` when the caller
+        must wait — follow up with :meth:`acquire_wait` (or just use
+        :meth:`acquire`, which composes both).  Exists so the hottest
+        transactional paths can skip a generator on the uncontended case.
+        """
         self.stats.requests += 1
         entry = self._table.get(key)
         if entry is None:
@@ -119,20 +123,36 @@ class LockManager:
 
         held = entry.granted.get(tid)
         if held is LockMode.X or held is mode:
-            return  # re-entrant; already strong enough
-        upgrade = held is LockMode.S and mode is LockMode.X
+            return True  # re-entrant; already strong enough
 
-        if upgrade:
+        if held is LockMode.S and mode is LockMode.X:
             if len(entry.granted) == 1:
                 entry.granted[tid] = LockMode.X
                 if self.observer is not None:
                     self.observer("grant", tid, key, LockMode.X)
-                return
-        elif self._grantable(entry, mode) and not entry.queue:
+                return True
+            return False
+        if not entry.queue and self._grantable(entry, mode):
             self._grant(entry, tid, mode, key)
-            return
+            return True
+        return False
 
-        # Must wait.  Upgrades queue at the front (they already hold S and
+    def acquire(self, tid: int, key, mode: LockMode,
+                timeout_ms: Optional[float] = None):
+        """Blocking acquire (generator).  Raises :class:`LockTimeoutError`
+        if not granted within the timeout."""
+        if self.try_acquire(tid, key, mode):
+            return
+        yield from self.acquire_wait(tid, key, mode, timeout_ms)
+
+    def acquire_wait(self, tid: int, key, mode: LockMode,
+                     timeout_ms: Optional[float] = None):
+        """The wait path — only valid right after :meth:`try_acquire`
+        returned ``False`` (the entry exists and is not grantable)."""
+        entry = self._table[key]
+        upgrade = entry.granted.get(tid) is LockMode.S and mode is LockMode.X
+
+        # Upgrades queue at the front (they already hold S and
         # would otherwise deadlock behind requests blocked on that S).
         if self.fault_hook is not None and self.fault_hook(tid, key, mode):
             # Injected lock-timeout storm: fail as if the full timeout had
@@ -234,10 +254,20 @@ class LockManager:
 
     def _grantable(self, entry: _LockEntry, mode: LockMode,
                    ignore_tid: Optional[int] = None) -> bool:
-        others = [m for t, m in entry.granted.items() if t != ignore_tid]
-        if not others:
+        # Allocation-free: this runs on every request (and again per
+        # queued request on every release), so no throwaway mode list.
+        granted = entry.granted
+        if not granted:
             return True
-        return mode is LockMode.S and all(m is LockMode.S for m in others)
+        if mode is LockMode.S:
+            for t, m in granted.items():
+                if m is LockMode.X and t != ignore_tid:
+                    return False
+            return True
+        for t in granted:
+            if t != ignore_tid:
+                return False
+        return True
 
     def _grant(self, entry: _LockEntry, tid: int, mode: LockMode, key) -> None:
         entry.granted[tid] = mode

@@ -6,7 +6,7 @@ paper's threaded performance study is reproduced on a simulator.
 
 from .errors import ProcessKilled, SimError, SimulationDeadlock, WaitTimeout
 from .kernel import (Delay, Event, Process, ScheduleEntry, SchedulerPolicy,
-                     Simulator, Wait)
+                     Simulator, TimerHandle, Wait)
 from .resources import CpuMeter, Mutex, Resource
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "SimError",
     "SimulationDeadlock",
     "Simulator",
+    "TimerHandle",
     "Wait",
     "WaitTimeout",
 ]

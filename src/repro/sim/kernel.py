@@ -92,6 +92,47 @@ class SchedulerPolicy:
         return ("run", 0)
 
 
+class TimerHandle:
+    """A cancellable handle for one scheduled callback.
+
+    Returned by :meth:`Simulator.call_later` / :meth:`Simulator.call_soon`.
+    ``cancel()`` is idempotent and safe after the callback has run; it
+    returns ``True`` only when it actually prevented a pending callback
+    from firing.  Cancellation is lazy: the queue entry stays on the heap
+    with its callback slot cleared and is skipped (not dispatched, and the
+    clock is *not* advanced to it) when it reaches the front.
+
+    This is what keeps settled ``Wait`` timeouts from drifting the clock:
+    a 1-second lock-timeout callback whose wait was satisfied after 2 ms
+    used to sit in the heap and fire as a no-op at +1000 ms, advancing
+    ``Simulator.now`` past the true end of work.
+    """
+
+    __slots__ = ("_sim", "_entry", "when")
+
+    def __init__(self, sim: "Simulator", entry: list, when: float):
+        self._sim = sim
+        self._entry = entry
+        self.when = when
+
+    @property
+    def active(self) -> bool:
+        """Whether the callback is still pending (not fired, not cancelled)."""
+        return self._entry[2] is not None
+
+    def cancel(self) -> bool:
+        """Cancel the callback; no-op if it already ran or was cancelled."""
+        if self._entry[2] is None:
+            return False
+        self._entry[2] = None
+        self._sim._timers_cancelled += 1
+        return True
+
+    def __repr__(self) -> str:
+        state = "pending" if self.active else "done"
+        return f"<TimerHandle at={self.when!r} {state}>"
+
+
 class Delay:
     """Command: suspend the yielding process for ``dt`` time units."""
 
@@ -177,14 +218,14 @@ class Event:
         # (e.g. a lock release inside transaction cleanup) must finish its
         # own critical section before any waiter observes the new state.
         for resume, label in waiters:
-            self.sim.call_soon(resume, label=label)
+            self.sim._schedule(0.0, resume, label)
 
     def _add_waiter(self, resume: Callable[[], None],
                     label: str = "") -> None:
         if self._fired:
             # Already fired: resume on the next scheduler step so the
             # caller's generator frame has returned first.
-            self.sim.call_soon(resume, label=label)
+            self.sim._schedule(0.0, resume, label)
         else:
             self._waiters.append((resume, label))
 
@@ -199,6 +240,61 @@ class Event:
         return f"<Event {self.name!r} {state}>"
 
 
+class _Waiter:
+    """One process's registration on an event's waiter list.
+
+    The instance itself is the resume callable handed to the event, so
+    the identity :meth:`Event._remove_waiter` compares stays stable.  A
+    ``Wait`` brackets every contended resource acquire, so this path is
+    hot: one ``__slots__`` instance replaces the former per-wait state
+    dict plus three closures.
+    """
+
+    __slots__ = ("proc", "event", "timer", "settled")
+
+    def __init__(self, proc: "Process", event: "Event"):
+        self.proc = proc
+        self.event = event
+        self.timer: Optional[TimerHandle] = None
+        self.settled = False
+
+    def __call__(self) -> None:
+        """Resume the process with the event's outcome."""
+        if self.settled:
+            return
+        self.settled = True
+        proc = self.proc
+        proc._waiter = None
+        # The wait settled before its timeout: cancel the timer so it
+        # neither lingers on the heap nor drags the clock forward.
+        if self.timer is not None:
+            self.timer.cancel()
+        event = self.event
+        if event._exc is not None:
+            proc._step(throw=event._exc)
+        else:
+            proc._step(send=event._value)
+
+    def cancel(self) -> None:
+        # Called when the process dies while blocked here: drop the
+        # registration so the event never steps a dead generator and
+        # its waiter list does not accumulate stale entries.
+        self.settled = True
+        if self.timer is not None:
+            self.timer.cancel()
+        self.event._remove_waiter(self)
+
+    def on_timeout(self) -> None:
+        if self.settled:
+            return
+        self.settled = True
+        proc = self.proc
+        proc._waiter = None
+        self.event._remove_waiter(self)
+        proc._step(throw=WaitTimeout(
+            f"process {proc.name} timed out waiting for {self.event!r}"))
+
+
 class Process:
     """A running generator managed by the simulator.
 
@@ -207,7 +303,7 @@ class Process:
     processes can join via ``yield Wait(process.done)``.
     """
 
-    __slots__ = ("sim", "name", "gen", "done", "_alive", "_wait_cancel")
+    __slots__ = ("sim", "name", "gen", "done", "_alive", "_waiter")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str):
         self.sim = sim
@@ -215,9 +311,9 @@ class Process:
         self.gen = gen
         self.done = Event(sim, name=f"done:{name}")
         self._alive = True
-        # Cancels the in-flight Wait registration, if any — a killed or
-        # finished process must not linger on an event's waiter list.
-        self._wait_cancel: Optional[Callable[[], None]] = None
+        # The in-flight Wait registration, if any — a killed or finished
+        # process must not linger on an event's waiter list.
+        self._waiter: Optional[_Waiter] = None
 
     @property
     def alive(self) -> bool:
@@ -278,7 +374,10 @@ class Process:
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Delay):
-            self.sim.call_later(command.dt, self._step, label=self.name)
+            dt = command.dt
+            if dt < 0:
+                raise ValueError(f"negative delay: {dt!r}")
+            self.sim._schedule(dt, self._step, self.name)
         elif isinstance(command, Wait):
             self._wait(command.event, command.timeout)
         elif isinstance(command, Event):
@@ -289,43 +388,18 @@ class Process:
                 f"{command!r}; yield Delay(...), Wait(...) or an Event"))
 
     def _cancel_wait(self) -> None:
-        if self._wait_cancel is not None:
-            cancel, self._wait_cancel = self._wait_cancel, None
-            cancel()
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter.cancel()
 
     def _wait(self, event: Event, timeout: Optional[float]) -> None:
-        state = {"settled": False}
-
-        def resume() -> None:
-            if state["settled"]:
-                return
-            state["settled"] = True
-            self._wait_cancel = None
-            if event.exception is not None:
-                self._step(throw=event.exception)
-            else:
-                self._step(send=event._value)
-
-        def cancel() -> None:
-            # Called when the process dies while blocked here: drop the
-            # registration so the event never steps a dead generator and
-            # its waiter list does not accumulate stale entries.
-            state["settled"] = True
-            event._remove_waiter(resume)
-
-        event._add_waiter(resume, label=self.name)
-        self._wait_cancel = cancel
+        waiter = _Waiter(self, event)
+        event._add_waiter(waiter, label=self.name)
+        self._waiter = waiter
         if timeout is not None:
-            def on_timeout() -> None:
-                if state["settled"]:
-                    return
-                state["settled"] = True
-                self._wait_cancel = None
-                event._remove_waiter(resume)
-                self._step(throw=WaitTimeout(
-                    f"process {self.name} timed out waiting for {event!r}"))
-            self.sim.call_later(timeout, on_timeout,
-                                label=f"timeout:{self.name}")
+            waiter.timer = self.sim.call_later(
+                timeout, waiter.on_timeout, label=f"timeout:{self.name}")
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"
@@ -356,11 +430,20 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Callable[[], None], str]] = []
+        # Queue entries are mutable lists [when, seq, fn, label]; a
+        # cancelled or already-dispatched entry has ``fn is None`` and is
+        # skipped lazily when it reaches the heap front.  ``seq`` is
+        # unique, so heap comparisons never reach the callback slot.
+        self._queue: list[list] = []
         self._live_processes: set[Process] = set()
         self._unhandled: list[tuple[Process, BaseException]] = []
         self._proc_counter = 0
         self._policy: Optional[SchedulerPolicy] = None
+        # Kernel counters, surfaced by ``counters()`` for the benchmark
+        # baselines (BENCH_*.json).
+        self._events_dispatched = 0
+        self._timers_cancelled = 0
+        self._heap_peak = 0
 
     @property
     def now(self) -> float:
@@ -379,22 +462,36 @@ class Simulator:
         """Create a fresh one-shot :class:`Event` bound to this simulator."""
         return Event(self, name=name)
 
-    def call_soon(self, fn: Callable[[], None], label: str = "") -> None:
+    def call_soon(self, fn: Callable[[], None], label: str = "") -> TimerHandle:
         """Schedule ``fn`` at the current time (after pending callbacks)."""
-        self.call_later(0.0, fn, label=label)
+        return self.call_later(0.0, fn, label=label)
 
     def call_later(self, dt: float, fn: Callable[[], None],
-                   label: str = "") -> None:
+                   label: str = "") -> TimerHandle:
         """Schedule ``fn`` to run ``dt`` time units from now.
 
-        ``label`` names the callback for scheduler policies and traces
-        (process callbacks carry their process name).  Equal-time
-        callbacks run in scheduling order — see the class docstring.
+        Returns a :class:`TimerHandle`; cancelling it prevents the
+        callback from firing (and from advancing the clock).  ``label``
+        names the callback for scheduler policies and traces (process
+        callbacks carry their process name).  Equal-time callbacks run in
+        scheduling order — see the class docstring.
         """
         if dt < 0:
             raise ValueError(f"negative delay: {dt!r}")
+        entry = self._schedule(dt, fn, label)
+        return TimerHandle(self, entry, entry[0])
+
+    def _schedule(self, dt: float, fn: Callable[[], None],
+                  label: str) -> list:
+        """``call_later`` minus validation and the :class:`TimerHandle` —
+        for internal callers that never cancel (``Delay`` resumption is
+        the hottest scheduling path in the benchmarks)."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + dt, self._seq, fn, label))
+        entry = [self._now + dt, self._seq, fn, label]
+        heapq.heappush(self._queue, entry)
+        if len(self._queue) > self._heap_peak:
+            self._heap_peak = len(self._queue)
+        return entry
 
     def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
         """Register a generator as a process; it starts on the next step."""
@@ -406,20 +503,28 @@ class Simulator:
         self.call_soon(proc._step, label=proc.name)
         return proc
 
-    def _pop_next(self) -> Optional[tuple[float, int, Callable[[], None], str]]:
+    def _pop_next(self) -> Optional[list]:
         """Pop the callback to run next, honouring the installed policy.
 
         Returns ``None`` if the queue drained (possible when a policy
         defers the only ready entry and nothing else is queued — it then
         reappears at a later timestamp, so the caller just loops).
+        Cancelled entries never reach the policy: they are dropped while
+        gathering the ready set, so traces contain only real choices.
         """
         if self._policy is None:
-            return heapq.heappop(self._queue)
+            while self._queue:
+                entry = heapq.heappop(self._queue)
+                if entry[2] is not None:
+                    return entry
+            return None
         while self._queue:
             when = self._queue[0][0]
-            ready: list[tuple[float, int, Callable[[], None], str]] = []
+            ready: list[list] = []
             while self._queue and self._queue[0][0] == when:
-                ready.append(heapq.heappop(self._queue))
+                entry = heapq.heappop(self._queue)
+                if entry[2] is not None:
+                    ready.append(entry)
             while ready:
                 view = [ScheduleEntry(e[0], e[1], e[3]) for e in ready]
                 decision = self._policy.schedule(when, view)
@@ -428,8 +533,8 @@ class Simulator:
                     _, index, delta = decision
                     delta = max(float(delta), SchedulerPolicy.MIN_DEFER)
                     entry = ready.pop(index)
-                    heapq.heappush(self._queue, (when + delta, entry[1],
-                                                 entry[2], entry[3]))
+                    entry[0] = when + delta
+                    heapq.heappush(self._queue, entry)
                     continue
                 if kind != "run":
                     raise ValueError(
@@ -451,6 +556,46 @@ class Simulator:
         exception nobody joined on, it is re-raised here (the default) so
         bugs do not pass silently.
         """
+        if until is None and self._policy is None:
+            self._run_fast(raise_unhandled)
+        else:
+            self._run_general(until, raise_unhandled)
+        if not self._queue and self._live_processes and until is None:
+            names = sorted(p.name for p in self._live_processes)
+            raise SimulationDeadlock(
+                f"no scheduled events but processes still blocked: {names}")
+        return self._now
+
+    def _run_fast(self, raise_unhandled: bool) -> None:
+        """The hot loop: no horizon, no policy — pop/dispatch directly.
+
+        Attribute lookups are hoisted into locals; cancelled entries are
+        skipped without touching the clock; each dispatched entry has its
+        callback slot cleared so a late ``TimerHandle.cancel`` is a no-op.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        unhandled = self._unhandled
+        dispatched = 0
+        try:
+            while queue:
+                entry = pop(queue)
+                fn = entry[2]
+                if fn is None:
+                    continue
+                entry[2] = None
+                self._now = entry[0]
+                dispatched += 1
+                fn()
+                if raise_unhandled and unhandled:
+                    proc, exc = unhandled[0]
+                    raise exc
+        finally:
+            self._events_dispatched += dispatched
+
+    def _run_general(self, until: Optional[float],
+                     raise_unhandled: bool) -> None:
+        """Horizon-bounded and/or policy-driven loop (the slow path)."""
         while self._queue:
             when = self._queue[0][0]
             if until is not None and when > until:
@@ -466,16 +611,13 @@ class Simulator:
                 heapq.heappush(self._queue, entry)
                 self._now = until
                 break
+            entry[2] = None
             self._now = when
+            self._events_dispatched += 1
             fn()
             if raise_unhandled and self._unhandled:
                 proc, exc = self._unhandled[0]
                 raise exc
-        if not self._queue and self._live_processes and until is None:
-            names = sorted(p.name for p in self._live_processes)
-            raise SimulationDeadlock(
-                f"no scheduled events but processes still blocked: {names}")
-        return self._now
 
     def run_process(self, gen: ProcessGenerator, name: str = "main") -> Any:
         """Spawn ``gen``, run the simulation to completion, return its result.
@@ -487,10 +629,27 @@ class Simulator:
         self.run()
         return proc.result
 
+    def counters(self) -> dict:
+        """Kernel-level counters for benchmark baselines.
+
+        ``timers_scheduled`` is the total ``call_later``/``call_soon``
+        count (the ``seq`` high-water mark); ``heap_peak`` the largest
+        queue the run ever held — the clock-drift fix shows up here as a
+        much smaller peak, since settled lock timeouts no longer pile up.
+        """
+        return {
+            "events_dispatched": self._events_dispatched,
+            "timers_scheduled": self._seq,
+            "timers_cancelled": self._timers_cancelled,
+            "heap_peak": self._heap_peak,
+        }
+
     def kill_all(self, exc: Optional[BaseException] = None) -> None:
         """Kill every live process (crash injection) and drop pending events."""
         for proc in list(self._live_processes):
             proc.kill(exc)
+        for entry in self._queue:
+            entry[2] = None  # late TimerHandle.cancel must stay a no-op
         self._queue.clear()
         self._unhandled.clear()
 

@@ -41,6 +41,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        self._grant_name = self.name + ":grant"
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         # Aggregate statistics; cheap to keep and used by the benchmarks to
@@ -57,14 +58,28 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiters)
 
-    def acquire(self) -> Generator[Any, Any, None]:
-        """Blocking acquire (generator; compose with ``yield from``)."""
+    def try_use(self) -> bool:
+        """Uncontended-acquire fast path: grant and return ``True`` when a
+        slot is free and nobody queues ahead, else ``False`` (the caller
+        should then ``yield Wait(self.wait_gate())``).  Lets hot process
+        code skip creating an ``acquire()``/``use()`` generator for the
+        common uncontended case."""
         if self._in_use < self.capacity and not self._waiters:
             self._grant()
-            return
-        gate = self.sim.event(name=f"{self.name}:grant")
+            return True
+        return False
+
+    def wait_gate(self) -> Event:
+        """Enqueue the caller and return the gate ``release`` will fire;
+        the slot is already granted by the time the gate fires."""
+        gate = Event(self.sim, self._grant_name)
         self._waiters.append(gate)
-        yield Wait(gate)
+        return gate
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Blocking acquire (generator; compose with ``yield from``)."""
+        if not self.try_use():
+            yield Wait(self.wait_gate())
         # _release granted us the slot before firing the gate.
 
     def release(self) -> None:
@@ -82,7 +97,11 @@ class Resource:
 
     def use(self, duration: float) -> Generator[Any, Any, None]:
         """Acquire, hold for ``duration`` simulated ms, release."""
-        yield from self.acquire()
+        # Uncontended acquire inlined: ``use`` brackets every simulated
+        # CPU charge, so the generator ``yield from self.acquire()``
+        # would create is measurable in the benchmarks.
+        if not self.try_use():
+            yield Wait(self.wait_gate())
         try:
             yield Delay(duration)
         finally:

@@ -16,9 +16,9 @@ eviction and checkpoints are sharp).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Generator, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, Optional, Set, Tuple
 
-from ..sim import Delay, Resource, Simulator
+from ..sim import Delay, Event, Resource, Simulator, Wait
 from .errors import TransientIOError
 
 #: A page is identified by ``(partition_id, page_no)``.
@@ -39,7 +39,7 @@ ReadVerifyHook = Callable[[PageKey], None]
 
 class BufferStats:
     __slots__ = ("hits", "misses", "evictions", "writebacks", "io_faults",
-                 "io_retries", "reads_verified")
+                 "io_retries", "reads_verified", "coalesced_reads")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -49,6 +49,9 @@ class BufferStats:
         self.io_faults = 0
         self.io_retries = 0
         self.reads_verified = 0
+        #: Concurrent misses of a page whose read was already in flight;
+        #: they waited on that read instead of paying their own.
+        self.coalesced_reads = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -78,6 +81,13 @@ class BufferPool:
         self.fault_hook: Optional[IOFaultHook] = None
         self.verify_hook: Optional[ReadVerifyHook] = None
         self._frames: "OrderedDict[PageKey, bool]" = OrderedDict()  # -> dirty
+        # Monotonic per-page dirty generation: bumped on *every* dirtying
+        # touch, so a flush can tell "still dirty from before my write"
+        # apart from "re-dirtied while my write was in flight".
+        self._dirty_epoch: Dict[PageKey, int] = {}
+        # Pages whose miss read is in flight: concurrent fixes wait on
+        # the event instead of paying a duplicate disk read.
+        self._inflight_reads: Dict[PageKey, Event] = {}
         self.stats = BufferStats()
 
     def _transfer(self, op: str, key: PageKey,
@@ -104,29 +114,65 @@ class BufferPool:
         """Ensure ``key``'s page is resident; mark it dirty if requested.
 
         A hit costs nothing; a miss pays one disk read, preceded by one
-        disk write if the evicted frame is dirty.
+        disk write if the evicted frame is dirty.  Concurrent misses of
+        the same page coalesce on the first miss's in-flight read — they
+        neither pay a duplicate disk read nor run the eviction loop, and
+        ``stats.misses`` counts the page fault once.
         """
-        if key in self._frames:
-            self.stats.hits += 1
-            self._frames[key] = self._frames[key] or dirty
-            self._frames.move_to_end(key)
-            return
+        while True:
+            if key in self._frames:
+                self.stats.hits += 1
+                if dirty:
+                    self._mark_dirty(key)
+                self._frames.move_to_end(key)
+                return
+            inflight = self._inflight_reads.get(key)
+            if inflight is None:
+                break
+            # Another process is already reading this page: ride along.
+            # Loop afterwards — the common case is a hit on the freshly
+            # inserted frame, but it may already have been evicted again,
+            # in which case this fix pays its own miss (or coalesces on
+            # the next in-flight read).
+            self.stats.coalesced_reads += 1
+            yield Wait(inflight)
+
         self.stats.misses += 1
-        while len(self._frames) >= self.capacity_pages:
-            yield from self._evict_lru()
-        yield from self._transfer("read", key, self.read_ms)
-        if self.verify_hook is not None:
-            self.verify_hook(key)
-            self.stats.reads_verified += 1
-        # Re-check: a concurrent fix of the same page may have completed
-        # while this process waited on the disk.
-        if key in self._frames:
-            self._frames[key] = self._frames[key] or dirty
-            self._frames.move_to_end(key)
-            return
-        if len(self._frames) >= self.capacity_pages:
-            yield from self._evict_lru()
-        self._frames[key] = dirty
+        gate = self.sim.event(name=f"read:{key[0]}:{key[1]}")
+        self._inflight_reads[key] = gate
+        try:
+            while len(self._frames) >= self.capacity_pages:
+                yield from self._evict_lru()
+            yield from self._transfer("read", key, self.read_ms)
+            if self.verify_hook is not None:
+                self.verify_hook(key)
+                self.stats.reads_verified += 1
+            # Eviction during the read (by a concurrent miss of another
+            # page) may have shrunk the pool below capacity again, but a
+            # concurrent *insert* of this key is impossible — we hold the
+            # in-flight registration.
+            if len(self._frames) >= self.capacity_pages:
+                yield from self._evict_lru()
+            self._frames[key] = False
+            if dirty:
+                self._mark_dirty(key)
+        except BaseException as exc:
+            gate.fail(exc)  # waiters see the same read failure
+            raise
+        else:
+            gate.succeed()
+        finally:
+            del self._inflight_reads[key]
+
+    def _mark_dirty(self, key: PageKey) -> None:
+        """Mark a resident frame dirty, bumping its dirty generation.
+
+        The bump happens on every dirtying touch — not just clean→dirty
+        transitions — because each one may precede new writes to the page
+        content that a write-back captured *before* the touch would miss.
+        """
+        self._frames[key] = True
+        self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
 
     def _evict_lru(self) -> Generator[Any, Any, None]:
         victim, victim_dirty = next(iter(self._frames.items()))
@@ -143,13 +189,26 @@ class BufferPool:
         self._frames.pop(key, None)
 
     def flush_all(self) -> Generator[Any, Any, int]:
-        """Write every dirty frame back (checkpoint); returns the count."""
+        """Write every dirty frame back (checkpoint); returns the count.
+
+        The frame state is re-checked after each (yielding) disk write:
+        a frame evicted while the write was in flight must not be
+        re-inserted (the pool would exceed capacity), and a frame
+        re-dirtied by a concurrent ``fix`` must keep its dirty bit — the
+        write captured the older content, so clearing the bit would lose
+        the newer write-back.
+        """
         written = 0
-        for key, dirty in list(self._frames.items()):
-            if dirty:
-                yield from self._transfer("write", key, self.write_ms)
+        for key in [k for k, d in self._frames.items() if d]:
+            if not self._frames.get(key, False):
+                # Evicted (its write-back already happened) or cleaned
+                # by a concurrent flush while we were writing others.
+                continue
+            epoch = self._dirty_epoch.get(key, 0)
+            yield from self._transfer("write", key, self.write_ms)
+            written += 1
+            if key in self._frames and self._dirty_epoch.get(key, 0) == epoch:
                 self._frames[key] = False
-                written += 1
         self.stats.writebacks += written
         return written
 

@@ -26,6 +26,28 @@ from .oid import NULL_REF, Oid
 
 _HEADER = struct.Struct("<HH")
 _REF = struct.Struct("<Q")
+#: Cached packers for whole ref-slot arrays, keyed by capacity: objects
+#: are decoded on every transactional read, so the per-slot
+#: ``Struct.unpack_from`` loop was a measurable bench hotspot.
+_REF_ARRAYS: dict = {}
+
+# Oid field extraction, inlined from Oid.unpack (the bounds checks there
+# are redundant for values read back from our own pages).
+_SLOT_MASK = (1 << 16) - 1
+_PAGE_MASK = (1 << 32) - 1
+
+#: Interned Oids keyed by packed value.  Oid is an immutable NamedTuple,
+#: so sharing instances is safe; a random-walk bench decodes the same few
+#: thousand objects hundreds of thousands of times, and the tuple
+#: construction per slot showed up in the profile.
+_OID_INTERN: dict = {}
+
+
+def _ref_array(count: int) -> struct.Struct:
+    packer = _REF_ARRAYS.get(count)
+    if packer is None:
+        packer = _REF_ARRAYS[count] = struct.Struct(f"<{count}Q")
+    return packer
 
 #: Byte offset of reference slot ``i`` within an object image.
 def ref_slot_offset(index: int) -> int:
@@ -76,21 +98,36 @@ class ObjectImage:
             raise ObjectFormatError(
                 f"image length {len(data)} != expected {expected} "
                 f"(ncap={ncap}, plen={plen})")
-        refs: List[Optional[Oid]] = []
         offset = _HEADER.size
-        for _ in range(ncap):
-            (packed,) = _REF.unpack_from(data, offset)
-            refs.append(None if packed == NULL_REF else Oid.unpack(packed))
-            offset += _REF.size
+        if ncap:
+            packed_refs = _ref_array(ncap).unpack_from(data, offset)
+            intern = _OID_INTERN
+            refs: List[Optional[Oid]] = []
+            append = refs.append
+            for packed in packed_refs:
+                if packed == NULL_REF:
+                    append(None)
+                    continue
+                oid = intern.get(packed)
+                if oid is None:
+                    oid = intern[packed] = Oid(
+                        packed >> 48, (packed >> 16) & _PAGE_MASK,
+                        packed & _SLOT_MASK)
+                append(oid)
+            offset += ncap * _REF.size
+        else:
+            refs = []
         return cls(refs, data[offset:])
 
     def encode(self) -> bytes:
         """Encode to the on-page byte format."""
-        parts = [_HEADER.pack(len(self._refs), len(self.payload))]
-        for ref in self._refs:
-            parts.append(_REF.pack(NULL_REF if ref is None else ref.pack()))
-        parts.append(self.payload)
-        return b"".join(parts)
+        refs = self._refs
+        if refs:
+            body = _ref_array(len(refs)).pack(
+                *(NULL_REF if ref is None else ref.pack() for ref in refs))
+        else:
+            body = b""
+        return _HEADER.pack(len(refs), len(self.payload)) + body + self.payload
 
     # -- reference slots ---------------------------------------------------
 

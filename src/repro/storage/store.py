@@ -17,7 +17,6 @@ from .oid import NULL_REF, Oid
 from .page import Page
 from .partition import Partition, PartitionStats
 
-_HEADER = struct.Struct("<HH")
 _REF = struct.Struct("<Q")
 
 
@@ -27,6 +26,13 @@ class ObjectStore:
     def __init__(self, page_size: int = 4096):
         self.page_size = page_size
         self._partitions: Dict[int, Partition] = {}
+        # Decoded-image cache: oid -> (raw bytes, decoded image).  Entries
+        # are validated against the freshly-read raw bytes (a memcmp), so
+        # any byte-level mutation — in-place writes, replaces, recovery
+        # redo — invalidates them naturally and the cache can never serve
+        # stale content.  Random-walk workloads re-read the same objects
+        # many times; decoding dominated the bench profile.
+        self._image_cache: Dict[Oid, Tuple[bytes, ObjectImage]] = {}
 
     # -- partition management ---------------------------------------------------
 
@@ -50,6 +56,8 @@ class ObjectStore:
         """Remove an (evacuated) partition entirely — copying-GC reclaim."""
         self.partition(partition_id)  # raise if unknown
         del self._partitions[partition_id]
+        for oid in [o for o in self._image_cache if o.partition == partition_id]:
+            del self._image_cache[oid]
 
     def partition(self, partition_id: int) -> Partition:
         try:
@@ -74,8 +82,34 @@ class ObjectStore:
     def allocate_object_at(self, oid: Oid, image: ObjectImage) -> None:
         self.partition(oid.partition).allocate_at(oid, image.encode())
 
+    def _cached_entry(self, oid: Oid) -> Tuple[bytes, ObjectImage]:
+        """The validated ``(raw, image)`` cache entry for ``oid``.
+
+        The returned image is the shared cached instance — callers must
+        either copy it before handing it out or mutate it only in
+        lockstep with the underlying page bytes.
+        """
+        part = self._partitions.get(oid.partition)
+        if part is None:
+            raise NoSuchPartitionError(f"no partition {oid.partition}")
+        # ``Partition._page_of``'s ownership check is vacuous here (the
+        # partition was just looked up from ``oid.partition``), so go to
+        # the page directly.
+        page = part._pages.get(oid.page)
+        if page is None:
+            raise NoSuchObjectError(
+                f"partition {oid.partition} has no page {oid.page}")
+        view = page.read_view(oid.slot)
+        cached = self._image_cache.get(oid)
+        if cached is not None and cached[0] == view:
+            return cached
+        raw = bytes(view)
+        entry = (raw, ObjectImage.decode(raw))
+        self._image_cache[oid] = entry
+        return entry
+
     def read_object(self, oid: Oid) -> ObjectImage:
-        return ObjectImage.decode(self.partition(oid.partition).read(oid))
+        return self._cached_entry(oid)[1].copy()
 
     def read_raw(self, oid: Oid) -> bytes:
         return self.partition(oid.partition).read(oid)
@@ -86,6 +120,7 @@ class ObjectStore:
 
     def free_object(self, oid: Oid) -> None:
         self.partition(oid.partition).free(oid)
+        self._image_cache.pop(oid, None)
 
     def exists(self, oid: Oid) -> bool:
         if oid.partition not in self._partitions:
@@ -101,50 +136,50 @@ class ObjectStore:
 
     # -- sub-record operations (the physical ops WAL records describe) -------------
 
-    def _header(self, oid: Oid) -> tuple[int, int]:
-        part = self.partition(oid.partition)
-        return _HEADER.unpack(part.read_bytes(oid, 0, _HEADER.size))
-
     def ref_capacity(self, oid: Oid) -> int:
-        ncap, _ = self._header(oid)
-        return ncap
+        return self._cached_entry(oid)[1].ref_capacity
 
     def get_ref(self, oid: Oid, index: int) -> Optional[Oid]:
-        ncap, _ = self._header(oid)
-        if not 0 <= index < ncap:
+        image = self._cached_entry(oid)[1]
+        if not 0 <= index < image.ref_capacity:
             raise RefSlotError(f"ref slot {index} out of range for {oid}")
-        part = self.partition(oid.partition)
-        (packed,) = _REF.unpack(
-            part.read_bytes(oid, ref_slot_offset(index), _REF.size))
-        return None if packed == NULL_REF else Oid.unpack(packed)
+        return image.get_ref(index)
 
     def set_ref(self, oid: Oid, index: int, child: Optional[Oid]) -> None:
         """Overwrite one reference slot in place — an 8-byte physical write."""
-        ncap, _ = self._header(oid)
-        if not 0 <= index < ncap:
+        raw, image = self._cached_entry(oid)
+        if not 0 <= index < image.ref_capacity:
             raise RefSlotError(f"ref slot {index} out of range for {oid}")
-        packed = NULL_REF if child is None else child.pack()
-        self.partition(oid.partition).write_bytes(
-            oid, ref_slot_offset(index), _REF.pack(packed))
+        data = _REF.pack(NULL_REF if child is None else child.pack())
+        offset = ref_slot_offset(index)
+        self.partition(oid.partition).write_bytes(oid, offset, data)
+        # Patch the cache in lockstep with the page bytes instead of
+        # letting the raw-bytes check evict it — hot objects are re-read
+        # right after every update.
+        image.set_ref(index, child)
+        self._image_cache[oid] = (
+            raw[:offset] + data + raw[offset + _REF.size:], image)
 
     def get_payload(self, oid: Oid) -> bytes:
-        ncap, plen = self._header(oid)
-        part = self.partition(oid.partition)
-        return part.read_bytes(oid, payload_offset(ncap), plen)
+        return self._cached_entry(oid)[1].payload
 
     def set_payload_bytes(self, oid: Oid, start: int, data: bytes) -> None:
         """Overwrite payload bytes in place (no size change)."""
-        ncap, plen = self._header(oid)
+        raw, image = self._cached_entry(oid)
+        plen = len(image.payload)
         if start < 0 or start + len(data) > plen:
             raise NoSuchObjectError(
                 f"payload write [{start}:{start + len(data)}] out of "
                 f"{plen}B payload of {oid}")
-        self.partition(oid.partition).write_bytes(
-            oid, payload_offset(ncap) + start, data)
+        offset = payload_offset(image.ref_capacity) + start
+        self.partition(oid.partition).write_bytes(oid, offset, data)
+        new_raw = raw[:offset] + data + raw[offset + len(data):]
+        image.payload = new_raw[payload_offset(image.ref_capacity):]
+        self._image_cache[oid] = (new_raw, image)
 
     def children_of(self, oid: Oid) -> List[Oid]:
         """Non-null references out of an object (decoding only the slots)."""
-        return self.read_object(oid).children()
+        return self._cached_entry(oid)[1].children()
 
     # -- bookkeeping --------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Any, Generator, List, Optional, Set
 
 from ..concurrency import LockMode
 from ..errors import ReferenceProtocolError, TransactionStateError
+from ..sim import Delay, Wait
 from ..storage import ObjectImage, Oid
 from ..wal.apply import apply_record, invert_record
 from ..wal.records import (
@@ -61,6 +62,10 @@ class Transaction:
         self.strict = strict
         self.status = TxnStatus.ACTIVE
         self.last_lsn = 0
+        # The explore harness installs its recorder before any
+        # transaction begins, so snapshotting it here is safe and saves
+        # a getattr per access on the hot paths.
+        self._history = getattr(engine, "history", None)
         #: References in the transaction's local memory (§2 model).
         self.local_refs: Set[Oid] = set()
         #: Objects this transaction created (allowed to reference freely).
@@ -92,16 +97,32 @@ class Transaction:
         short-lock mode so rollback never needs to re-acquire them.
         """
         self._require_active()
-        yield from self.lock(oid, LockMode.X if for_update else LockMode.S)
-        yield from self.engine.fix_page(oid)
-        yield from self._cpu(self.engine.config.cpu_object_access_ms)
-        image = self.engine.store.read_object(oid)
+        engine = self.engine
+        # Flattened fast paths: the uncontended lock grant, the
+        # memory-resident page fix and the CPU charge would each cost a
+        # generator per access through the generic helpers — this is the
+        # hottest method in the benchmarks.
+        mode = LockMode.X if for_update else LockMode.S
+        if not engine.locks.try_acquire(self.tid, oid, mode):
+            yield from engine.locks.acquire_wait(self.tid, oid, mode)
+        if engine.buffer is not None:
+            yield from engine.fix_page(oid)
+        cost = engine.config.cpu_object_access_ms
+        if cost > 0:
+            cpu = engine.cpu
+            if not cpu.try_use():
+                yield Wait(cpu.wait_gate())
+            try:
+                yield Delay(cost)
+            finally:
+                cpu.release()
+        image = engine.store.read_object(oid)
         self.local_refs.update(image.children())
         self.local_refs.add(oid)
         self._note("r", oid)
         self.ops += 1
         if not self.strict and not for_update and not \
-                self.engine.locks.holds(self.tid, oid, LockMode.X):
+                engine.locks.holds(self.tid, oid, LockMode.X):
             self.unlock(oid)
         return image
 
@@ -111,10 +132,21 @@ class Transaction:
                       data: bytes) -> Generator[Any, Any, None]:
         """Overwrite payload bytes in place (logged, undoable)."""
         self._require_active()
-        yield from self.lock(oid, LockMode.X)
-        yield from self.engine.fix_page(oid, dirty=True)
-        yield from self._cpu(self.engine.config.cpu_update_extra_ms)
-        before = self.engine.store.get_payload(oid)[offset:offset + len(data)]
+        engine = self.engine
+        if not engine.locks.try_acquire(self.tid, oid, LockMode.X):
+            yield from engine.locks.acquire_wait(self.tid, oid, LockMode.X)
+        if engine.buffer is not None:
+            yield from engine.fix_page(oid, dirty=True)
+        cost = engine.config.cpu_update_extra_ms
+        if cost > 0:
+            cpu = engine.cpu
+            if not cpu.try_use():
+                yield Wait(cpu.wait_gate())
+            try:
+                yield Delay(cost)
+            finally:
+                cpu.release()
+        before = engine.store.get_payload(oid)[offset:offset + len(data)]
         self._note("w", oid)
         self._log_and_apply(PayloadUpdateRecord(
             self.tid, self.last_lsn, oid=oid, offset=offset,
@@ -180,11 +212,23 @@ class Transaction:
         self._require_active()
         if new_child is not None:
             self._check_ref_source(new_child)
-        yield from self.lock(parent, LockMode.X)
-        yield from self.engine.fix_page(parent, dirty=True)
-        yield from self._cpu(self.engine.config.cpu_update_extra_ms
-                             if cpu_ms is None else cpu_ms)
-        old_child = self.engine.store.get_ref(parent, slot)
+        engine = self.engine
+        if not engine.locks.try_acquire(self.tid, parent, LockMode.X):
+            yield from engine.locks.acquire_wait(self.tid, parent,
+                                                 LockMode.X)
+        if engine.buffer is not None:
+            yield from engine.fix_page(parent, dirty=True)
+        cost = (engine.config.cpu_update_extra_ms
+                if cpu_ms is None else cpu_ms)
+        if cost > 0:
+            cpu = engine.cpu
+            if not cpu.try_use():
+                yield Wait(cpu.wait_gate())
+            try:
+                yield Delay(cost)
+            finally:
+                cpu.release()
+        old_child = engine.store.get_ref(parent, slot)
         if old_child is not None:
             self.local_refs.add(old_child)
         self._note("w", parent)
@@ -303,9 +347,8 @@ class Transaction:
     def _note(self, action: str, oid: Oid) -> None:
         """Feed one observed access into the engine's history recorder
         (``repro.explore``'s serializability oracle); no-op otherwise."""
-        history = getattr(self.engine, "history", None)
-        if history is not None:
-            history.record(self, action, oid)
+        if self._history is not None:
+            self._history.record(self, action, oid)
 
     def _log(self, record: LogRecord) -> int:
         lsn = self.engine.log.append(record)

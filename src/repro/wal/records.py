@@ -24,6 +24,13 @@ _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
+# Combined packers for the hot paths: every appended record pays the
+# header, and PAYLOAD_UPDATE/REF_UPDATE dominate workload logging.  The
+# combined formats are concatenations of the original little-endian
+# fields ("<" disables padding), so the encoded bytes are identical.
+_HDR = struct.Struct("<BQQ")            # kind, tid, prev_lsn
+_REF_BODY = struct.Struct("<QHQQ")      # parent, slot, old_child, new_child
+_PAYLOAD_HEAD = struct.Struct("<QII")   # oid, offset, len(before)
 
 KIND_BEGIN = 1
 KIND_COMMIT = 2
@@ -74,9 +81,17 @@ def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
     return data[offset:offset + length], offset + length
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class LogRecord:
-    """Base class; ``lsn`` is stamped by the log manager at append time."""
+    """Base class; ``lsn`` is stamped by the log manager at append time.
+
+    Records are immutable by convention (only :meth:`with_lsn` writes to
+    one, exactly once).  They are deliberately *not* ``frozen=True``
+    dataclasses: the frozen ``__init__`` pays an ``object.__setattr__``
+    per field, and record construction brackets every logged update on
+    the benchmark's hottest path.  ``unsafe_hash=True`` keeps them
+    hashable exactly as the frozen variant was.
+    """
 
     tid: int
     prev_lsn: int
@@ -85,18 +100,18 @@ class LogRecord:
     kind: int = 0  # overridden per subclass
 
     def encode(self) -> bytes:
-        return _U8.pack(self.kind) + _U64.pack(self.tid) + \
-            _U64.pack(self.prev_lsn) + self._encode_body()
+        return _HDR.pack(self.kind, self.tid, self.prev_lsn) + \
+            self._encode_body()
 
     def _encode_body(self) -> bytes:
         return b""
 
     def with_lsn(self, lsn: int) -> "LogRecord":
-        object.__setattr__(self, "lsn", lsn)
+        self.lsn = lsn
         return self
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class BeginRecord(LogRecord):
     flags: int = 0
     reorg_partition: int = NO_REORG_PARTITION
@@ -117,22 +132,22 @@ class BeginRecord(LogRecord):
         return _U8.pack(self.flags) + _U16.pack(self.reorg_partition)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class CommitRecord(LogRecord):
     kind: int = KIND_COMMIT
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class AbortRecord(LogRecord):
     kind: int = KIND_ABORT
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class EndRecord(LogRecord):
     kind: int = KIND_END
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ObjCreateRecord(LogRecord):
     """A new object materialized at ``oid`` with the given full image."""
 
@@ -144,7 +159,7 @@ class ObjCreateRecord(LogRecord):
         return _pack_oid(self.oid) + _pack_bytes(self.image)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ObjDeleteRecord(LogRecord):
     """An object freed; ``before_image`` allows undo to recreate it."""
 
@@ -156,7 +171,7 @@ class ObjDeleteRecord(LogRecord):
         return _pack_oid(self.oid) + _pack_bytes(self.before_image)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class PayloadUpdateRecord(LogRecord):
     """In-place payload bytes overwrite: before/after images at an offset."""
 
@@ -167,11 +182,13 @@ class PayloadUpdateRecord(LogRecord):
     kind: int = KIND_PAYLOAD_UPDATE
 
     def _encode_body(self) -> bytes:
-        return (_pack_oid(self.oid) + _U32.pack(self.offset)
-                + _pack_bytes(self.before) + _pack_bytes(self.after))
+        return (_PAYLOAD_HEAD.pack(
+                    NULL_REF if self.oid is None else self.oid.pack(),
+                    self.offset, len(self.before))
+                + self.before + _U32.pack(len(self.after)) + self.after)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class RefUpdateRecord(LogRecord):
     """Reference slot ``slot`` of ``parent`` changed old_child → new_child.
 
@@ -187,11 +204,14 @@ class RefUpdateRecord(LogRecord):
     kind: int = KIND_REF_UPDATE
 
     def _encode_body(self) -> bytes:
-        return (_pack_oid(self.parent) + _U16.pack(self.slot)
-                + _pack_oid(self.old_child) + _pack_oid(self.new_child))
+        return _REF_BODY.pack(
+            NULL_REF if self.parent is None else self.parent.pack(),
+            self.slot,
+            NULL_REF if self.old_child is None else self.old_child.pack(),
+            NULL_REF if self.new_child is None else self.new_child.pack())
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ClrRecord(LogRecord):
     """Compensation record: the redo-only action performed by an undo step.
 
@@ -215,7 +235,7 @@ class ClrRecord(LogRecord):
         return decode_record(self.action)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class CheckpointRecord(LogRecord):
     """Sharp checkpoint marker.
 
@@ -239,7 +259,7 @@ class CheckpointRecord(LogRecord):
         return dict(self.active_txns)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ReorgProgressRecord(LogRecord):
     """Reorganizer progress checkpoint carried in the WAL (§4.4).
 
@@ -284,10 +304,8 @@ def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
 
 
 def _decode_record(data: bytes, lsn: int) -> LogRecord:
-    (kind,) = _U8.unpack_from(data, 0)
-    (tid,) = _U64.unpack_from(data, 1)
-    (prev_lsn,) = _U64.unpack_from(data, 9)
-    offset = 17
+    kind, tid, prev_lsn = _HDR.unpack_from(data, 0)
+    offset = _HDR.size
     record: LogRecord
     if kind == KIND_BEGIN:
         (flags,) = _U8.unpack_from(data, offset)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -53,7 +53,62 @@ class ExperimentMetrics:
     io_faults: int = 0
     io_retries: int = 0
 
+    # Derived-statistics caches, keyed on the records generation (its
+    # length — records are append-only in practice; a shrink triggers a
+    # full rebuild).  ``summary()`` used to rebuild the response-time
+    # list four times and ``percentile_response_ms`` re-sorted per call;
+    # now each is computed once per generation.  The cached aggregates
+    # use the same float expressions as before, so every reported number
+    # is bit-identical to the uncached implementation.
+    _times_n: int = field(default=0, init=False, repr=False, compare=False)
+    _times: List[float] = field(default_factory=list, init=False,
+                                repr=False, compare=False)
+    _agg: Optional[Tuple[float, float, float, int]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _sorted: Optional[List[float]] = field(default=None, init=False,
+                                           repr=False, compare=False)
+    _tps_key: Optional[Tuple[int, float]] = field(default=None, init=False,
+                                                  repr=False, compare=False)
+    _tps: float = field(default=0.0, init=False, repr=False, compare=False)
+
     # -- derived metrics -------------------------------------------------------
+
+    def _cached_times(self) -> List[float]:
+        n = len(self.records)
+        if n != self._times_n:
+            if n > self._times_n:
+                self._times.extend(r.response_ms
+                                   for r in self.records[self._times_n:])
+            else:
+                self._times = [r.response_ms for r in self.records]
+            self._times_n = n
+            self._agg = None
+            self._sorted = None
+            self._tps_key = None
+        return self._times
+
+    def _aggregates(self) -> Tuple[float, float, float, int]:
+        """``(avg, max, std, retries)`` over the current records."""
+        times = self._cached_times()
+        if self._agg is None:
+            n = len(times)
+            avg = sum(times) / n if times else 0.0
+            peak = max(times) if times else 0.0
+            if n < 2:
+                std = 0.0
+            else:
+                mean = sum(times) / n
+                std = math.sqrt(sum((t - mean) ** 2 for t in times)
+                                / (n - 1))
+            self._agg = (avg, peak, std,
+                         sum(r.retries for r in self.records))
+        return self._agg
+
+    def _sorted_times(self) -> List[float]:
+        times = self._cached_times()
+        if self._sorted is None:
+            self._sorted = sorted(times)
+        return self._sorted
 
     @property
     def completed(self) -> int:
@@ -62,7 +117,7 @@ class ExperimentMetrics:
     @property
     def total_retries(self) -> int:
         """Timeout-abort retries summed over all logical transactions."""
-        return sum(r.retries for r in self.records)
+        return self._aggregates()[3]
 
     @property
     def reorg_deadlock_retries(self) -> int:
@@ -79,34 +134,31 @@ class ExperimentMetrics:
         """Transactions per second of simulated time over the window."""
         if self.window_ms <= 0:
             return 0.0
-        in_window = sum(1 for r in self.records
-                        if r.finished_ms <= self.window_ms)
-        return in_window / (self.window_ms / 1000.0)
+        key = (len(self.records), self.window_ms)
+        if self._tps_key != key:
+            in_window = sum(1 for r in self.records
+                            if r.finished_ms <= self.window_ms)
+            self._tps = in_window / (self.window_ms / 1000.0)
+            self._tps_key = key
+        return self._tps
 
     def response_times(self) -> List[float]:
-        return [r.response_ms for r in self.records]
+        return list(self._cached_times())
 
     @property
     def avg_response_ms(self) -> float:
-        times = self.response_times()
-        return sum(times) / len(times) if times else 0.0
+        return self._aggregates()[0]
 
     @property
     def max_response_ms(self) -> float:
-        times = self.response_times()
-        return max(times) if times else 0.0
+        return self._aggregates()[1]
 
     @property
     def std_response_ms(self) -> float:
-        times = self.response_times()
-        if len(times) < 2:
-            return 0.0
-        mean = sum(times) / len(times)
-        return math.sqrt(sum((t - mean) ** 2 for t in times)
-                         / (len(times) - 1))
+        return self._aggregates()[2]
 
     def percentile_response_ms(self, pct: float) -> float:
-        times = sorted(self.response_times())
+        times = self._sorted_times()
         if not times:
             return 0.0
         rank = min(len(times) - 1, max(0, int(round(
@@ -114,7 +166,7 @@ class ExperimentMetrics:
         return times[rank]
 
     def top_responses(self, n: int = 10) -> List[float]:
-        return sorted(self.response_times(), reverse=True)[:n]
+        return sorted(self._cached_times(), reverse=True)[:n]
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -17,7 +17,7 @@ from typing import Any, Generator
 
 from ..concurrency import LockTimeoutError
 from ..config import WorkloadConfig
-from .graphgen import GraphLayout, glue_slot
+from .graphgen import GraphLayout, glue_slot, random_bytes
 
 
 class WalkOutcome:
@@ -70,7 +70,7 @@ def random_walk_transaction(engine, layout: GraphLayout,
                 else:
                     offset = rng.randrange(
                         max(1, config.payload_bytes - 4))
-                    poke = bytes(rng.getrandbits(8) for _ in range(4))
+                    poke = random_bytes(rng, 4)
                     yield from txn.write_payload(current, offset, poke)
             visited.append(current)
             children = image.children()

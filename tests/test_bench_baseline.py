@@ -1,0 +1,119 @@
+"""Tests for the BENCH_<n>.json baseline layer and result determinism."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    SCALES,
+    base_workload,
+    compare_figure,
+    figure_payload,
+    load_baseline,
+    new_baseline,
+    run_three_way,
+    save_baseline,
+)
+from repro.bench.baseline import SCHEMA
+
+
+def _figure(wall=1.0, avg=100.0):
+    return {
+        "wall_clock_s": wall,
+        "metrics": {"nr": {"avg_response_ms": avg, "completed": 50}},
+        "counters": {"nr": {"events_dispatched": 1000}},
+    }
+
+
+def _baseline(**figures):
+    data = new_baseline()
+    data["figures"].update(figures)
+    return data
+
+
+class TestCompareFigure:
+    def test_identical_run_passes(self):
+        fig = _figure()
+        baseline = _baseline(**{"table2/quick": copy.deepcopy(fig)})
+        assert compare_figure("table2/quick", fig, baseline, 10.0) == []
+
+    def test_wall_clock_within_tolerance_passes(self):
+        baseline = _baseline(**{"table2/quick": _figure(wall=1.0)})
+        current = _figure(wall=1.4)
+        assert compare_figure("table2/quick", current, baseline, 50.0) == []
+
+    def test_wall_clock_regression_fails(self):
+        baseline = _baseline(**{"table2/quick": _figure(wall=1.0)})
+        current = _figure(wall=1.6)
+        problems = compare_figure("table2/quick", current, baseline, 50.0)
+        assert len(problems) == 1
+        assert "wall-clock regression" in problems[0]
+
+    def test_metrics_drift_fails_regardless_of_wall_clock(self):
+        baseline = _baseline(**{"table2/quick": _figure(avg=100.0)})
+        current = _figure(avg=100.001)  # faster wall, drifted result
+        current["wall_clock_s"] = 0.1
+        problems = compare_figure("table2/quick", current, baseline, 50.0)
+        assert len(problems) == 1
+        assert "drifted" in problems[0]
+        assert "'nr'" in problems[0]
+
+    def test_metrics_drift_ignorable_when_disabled(self):
+        baseline = _baseline(**{"table2/quick": _figure(avg=100.0)})
+        current = _figure(avg=999.0)
+        assert compare_figure("table2/quick", current, baseline, 50.0,
+                              check_metrics=False) == []
+
+    def test_missing_figure_reported(self):
+        baseline = _baseline(**{"table2/quick": _figure()})
+        problems = compare_figure("mpl/standard", _figure(), baseline, 50.0)
+        assert len(problems) == 1
+        assert "no figure 'mpl/standard'" in problems[0]
+
+    def test_counters_do_not_gate(self):
+        # Kernel counters are informational: a counter diff alone passes.
+        fig = _figure()
+        baseline = _baseline(**{"table2/quick": copy.deepcopy(fig)})
+        fig["counters"]["nr"]["events_dispatched"] += 5
+        assert compare_figure("table2/quick", fig, baseline, 50.0) == []
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        data = _baseline(**{"table2/quick": _figure()})
+        save_baseline(path, data)
+        assert load_baseline(path) == data
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        data = {"schema": "repro-bench/999", "figures": {}}
+        save_baseline(path, data)
+        with pytest.raises(ValueError, match="unknown baseline schema"):
+            load_baseline(path)
+
+    def test_new_baseline_has_current_schema(self):
+        assert new_baseline()["schema"] == SCHEMA
+
+
+class TestSeedPinnedDeterminism:
+    def test_table2_quick_is_byte_identical_across_runs(self):
+        """The determinism contract behind the bench baselines.
+
+        Two fresh in-process runs of the Table 2 figure at the pinned
+        workload seed must serialize to *equal* payloads — this is what
+        lets ``--compare`` treat any metrics diff as a code-behaviour
+        change rather than noise, and what the kernel/storage fast paths
+        are required to preserve.
+        """
+        scale = SCALES["quick"]
+
+        def run():
+            points = run_three_way(base_workload(scale, mpl=30), scale=scale)
+            return figure_payload(points, wall_clock_s=0.0)
+
+        first, second = run(), run()
+        assert first["metrics"] == second["metrics"]
+        # The kernel event/timer counts are part of the schedule, hence
+        # equally deterministic.
+        assert first["counters"] == second["counters"]

@@ -156,7 +156,9 @@ def test_wait_timeout_not_triggered_when_event_fires_first():
     sim.spawn(firer())
     sim.run()
     assert proc.result == "beat-the-clock"
-    assert sim.now == 100.0 or sim.now == 5.0  # timeout callback may linger
+    # Regression guard: the settled wait's timeout timer is cancelled, so
+    # it must NOT linger on the heap and drag the clock out to 100.
+    assert sim.now == 5.0
 
 
 def test_timed_out_waiter_removed_from_event():
@@ -385,3 +387,114 @@ def test_live_processes_and_kill_matching():
     assert sim.kill_matching("reorg") == 2
     assert [p.name for p in sim.live_processes()] == ["thread-1"]
     assert sim.kill_matching("reorg") == 0
+
+
+# -- timer handles -----------------------------------------------------------
+
+
+def test_call_later_returns_active_handle():
+    sim = Simulator()
+    ran = []
+    handle = sim.call_later(5.0, lambda: ran.append(sim.now))
+    assert handle.active
+    assert handle.when == 5.0
+    sim.run()
+    assert ran == [5.0]
+    assert not handle.active
+
+
+def test_cancel_before_fire_prevents_callback_and_clock_advance():
+    sim = Simulator()
+    ran = []
+    handle = sim.call_later(50.0, lambda: ran.append("late"))
+    sim.call_later(2.0, lambda: ran.append("early"))
+    assert handle.cancel() is True
+    assert not handle.active
+    sim.run()
+    assert ran == ["early"]
+    # The cancelled entry must not have dragged the clock to its deadline.
+    assert sim.now == 2.0
+    assert sim.counters()["timers_cancelled"] == 1
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    ran = []
+    handle = sim.call_later(1.0, lambda: ran.append("x"))
+    sim.run()
+    assert ran == ["x"]
+    assert handle.cancel() is False
+    assert sim.counters()["timers_cancelled"] == 0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.call_later(1.0, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False
+    sim.run()
+    assert sim.counters()["timers_cancelled"] == 1
+
+
+def test_cancel_from_inside_another_callback():
+    sim = Simulator()
+    ran = []
+    victim = sim.call_later(10.0, lambda: ran.append("victim"))
+    sim.call_later(5.0, lambda: victim.cancel())
+    sim.run()
+    assert ran == []
+    assert sim.now == 5.0
+
+
+def test_call_soon_runs_at_current_time_in_order():
+    sim = Simulator()
+    ran = []
+    sim.call_soon(lambda: ran.append("a"))
+    sim.call_soon(lambda: ran.append("b"))
+    sim.run()
+    assert ran == ["a", "b"]
+    assert sim.now == 0.0
+
+
+def test_negative_call_later_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, lambda: None)
+
+
+def test_counters_track_dispatch_and_heap_peak():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(1.0)
+        yield Delay(1.0)
+
+    for _ in range(4):
+        sim.spawn(proc())
+    sim.run()
+    counters = sim.counters()
+    # 4 spawns + 8 delay resumptions.
+    assert counters["events_dispatched"] == 12
+    assert counters["timers_scheduled"] == 12
+    assert counters["heap_peak"] == 4
+    assert counters["timers_cancelled"] == 0
+
+
+def test_settled_wait_timeout_is_cancelled_not_left_on_heap():
+    sim = Simulator()
+    event = sim.event()
+
+    def waiter():
+        value = yield Wait(event, timeout=1000.0)
+        return value
+
+    def firer():
+        yield Delay(2.0)
+        event.succeed("ok")
+
+    proc = sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert proc.result == "ok"
+    assert sim.now == 2.0
+    assert sim.counters()["timers_cancelled"] == 1

@@ -173,3 +173,43 @@ def test_slots_iterator():
     c = page.insert(b"c")
     page.delete(b)
     assert list(page.slots()) == [a, c]
+
+
+# -- checksum tail cache: cached CRC must track every mutation ----------------
+
+
+def _crc_fresh(page):
+    """Recompute the content CRC with the cached tail invalidated."""
+    page._tail = None
+    return page._content_crc()
+
+
+def test_crc_cache_tracks_all_mutations():
+    page = Page(512)
+    assert page.checksum == _crc_fresh(page)
+    slots = [page.insert(bytes([i]) * 16) for i in range(4)]
+    assert page.checksum == _crc_fresh(page)
+    page.update(slots[0], b"x" * 16)          # same-size, in place
+    assert page.checksum == _crc_fresh(page)
+    page.update(slots[1], b"y" * 40)          # resize, re-place
+    assert page.checksum == _crc_fresh(page)
+    page.write_bytes(slots[2], 4, b"zz")      # partial overwrite
+    assert page.checksum == _crc_fresh(page)
+    page.delete(slots[3])
+    assert page.checksum == _crc_fresh(page)
+    page.insert_at(slots[3], b"back" * 3)
+    assert page.checksum == _crc_fresh(page)
+    page.verify()  # and the page agrees with its own checksum
+
+
+def test_crc_cache_survives_compaction_and_restore():
+    page = Page(256)
+    slots = [page.insert(bytes([65 + i]) * 20) for i in range(5)]
+    for slot in slots[::2]:
+        page.delete(slot)
+    # Force fragmentation-driven compaction via a large insert.
+    page.insert(b"Q" * 60)
+    assert page.checksum == _crc_fresh(page)
+    clone = Page.restore(page.snapshot())
+    assert clone.checksum == _crc_fresh(clone)
+    clone.verify()
