@@ -40,6 +40,13 @@ from .core import (
     TwoLockReorganizer,
 )
 from .core import WalReorgStateStore, resume_from_wal
+from .cluster import (
+    AffinityClusteringPlan,
+    AffinityGraph,
+    ClusteringAdvisor,
+    ClusterTracer,
+    RandomPlacementPlan,
+)
 from .database import Database
 from .engine import CrashImage, IntegrityReport, StorageEngine
 from .faults import FaultInjector, FaultPlan, chaos_sweep, corruption_sweep
@@ -63,7 +70,12 @@ from .workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AffinityClusteringPlan",
+    "AffinityGraph",
+    "ClusterTracer",
+    "ClusteringAdvisor",
     "ClusteringPlan",
+    "RandomPlacementPlan",
     "CompactionPlan",
     "CopyingGarbageCollector",
     "CorruptionError",

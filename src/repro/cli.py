@@ -9,12 +9,22 @@ Commands
     with the chosen algorithm, and report interference + integrity.
 
 ``bench``
-    Run one paper experiment (table2, mpl, partition-size, update-prob,
-    equal-duration) and print its data table.
+    Run one paper experiment (table2, mpl, partition-size, update-prob)
+    or the clustering experiment (NR vs random placement vs
+    affinity-clustered IRA in the disk-resident setting) and print its
+    data table.
 
 ``inspect``
     Build the workload and print the database's physical layout
-    (partitions, pages, fragmentation, ERT sizes).
+    (partitions, pages, fragmentation, ERT sizes).  ``--pages PID``
+    zooms into one partition: per-page fill fraction and which objects
+    co-reside on each page.
+
+``cluster``
+    Trace the workload on-line for a while, then print the affinity
+    statistics (hot objects, co-access edges), the clustering advisor's
+    partition ranking, and the placement the chosen policy would build
+    for the recommended partition.
 
 ``chaos``
     Crash-point sweep: crash a reorganization run at N distinct points
@@ -122,6 +132,12 @@ def _bench_figure(args, workload):
         points = run_three_way(workload, scale=SCALES[args.scale])
         text = format_table2(points) + "\n\n" + format_contention(points)
         return text, figure_payload(points, 0.0)
+    if args.experiment == "clustering":
+        from .cluster.bench import format_clustering, run_clustering_experiment
+        points = run_clustering_experiment(
+            args.scale,
+            progress=lambda line: print(f"  {line}", file=sys.stderr))
+        return format_clustering(points), figure_payload(points, 0.0)
     sweeps = {
         "mpl": ("mpl", SCALES[args.scale].mpl_points),
         "partition-size": ("objects_per_partition",
@@ -209,6 +225,8 @@ def cmd_bench(args) -> int:
 def cmd_inspect(args) -> int:
     workload = _workload(args)
     db, layout = Database.with_workload(workload)
+    if args.pages is not None:
+        return _inspect_pages(db, args.pages)
     print(f"{'partition':>9} {'objects':>8} {'pages':>6} {'frag':>7} "
           f"{'ERT entries':>12}")
     for pid in db.store.partition_ids():
@@ -218,6 +236,85 @@ def cmd_inspect(args) -> int:
               f"{stats.fragmentation:>7.1%} {len(ert):>12}")
     report = db.verify_integrity()
     print(f"\nintegrity: {'OK' if report.ok else report.problems()[:3]}")
+    return 0
+
+
+def _inspect_pages(db, partition_id: int) -> int:
+    """Per-page occupancy and co-residency for one partition."""
+    from .storage.oid import Oid
+    store = db.store
+    if not store.has_partition(partition_id):
+        print(f"no partition {partition_id} "
+              f"(have: {store.partition_ids()})", file=sys.stderr)
+        return 1
+    part = store.partition(partition_id)
+    print(f"partition {partition_id}: {part.page_count} pages, "
+          f"page size {part.page_size} B, relocation floor "
+          f"{part.relocation_floor}")
+    print(f"{'page':>5} {'slots':>6} {'fill':>6}  co-resident objects")
+    for page_no in part.page_numbers():
+        page = part.page(page_no)
+        oids = [str(Oid(partition_id, page_no, slot))
+                for slot in page.slots()]
+        fill = page.used_bytes / part.page_size
+        shown = ", ".join(oids[:6]) + (f", … +{len(oids) - 6}"
+                                       if len(oids) > 6 else "")
+        print(f"{page_no:>5} {len(oids):>6} {fill:>6.0%}  {shown or '-'}")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from .cluster import (ClusteringAdvisor, ClusterTracer, make_policy,
+                          objects_per_page)
+    workload = _workload(args)
+    db, layout = Database.with_workload(workload)
+    engine = db.engine
+    tracer = ClusterTracer(pair_window=args.pair_window)
+    engine.tracer = tracer
+    print(f"tracing {workload.mpl} threads over "
+          f"{workload.num_partitions} x "
+          f"{workload.objects_per_partition} objects for "
+          f"{args.trace_ms / 1000:.0f} s (simulated) ...")
+    driver = WorkloadDriver(engine, layout,
+                            ExperimentConfig(workload=workload))
+    driver.run(horizon_ms=args.trace_ms)
+    engine.tracer = None
+    graph = tracer.graph
+    print(f"traced {tracer.commits} commits: {graph.accesses} accesses, "
+          f"{graph.pairs} co-access pairs ({len(graph.heat)} objects and "
+          f"{len(graph.edges)} edges tracked after decay)")
+
+    print(f"\ntop {args.top} hot objects (decayed heat):")
+    for oid, heat in graph.top_hot(args.top):
+        print(f"  {oid!s:>12}  {heat:8.2f}")
+    print(f"\ntop {args.top} affinity edges (decayed weight):")
+    for (a, b), weight in graph.top_edges(args.top):
+        print(f"  {a!s:>12} -- {b!s:<12} {weight:8.2f}")
+
+    advisor = ClusteringAdvisor(graph)
+    # Partition 0 holds the persistent-root stubs, not workload data.
+    candidates = [pid for pid in db.store.partition_ids() if pid != 0]
+    print("\nadvisor ranking, data partitions "
+          "(score = fragmentation + scatter x heat-share):")
+    for advice in advisor.rank(engine, candidates):
+        print(f"  {advice.describe()}")
+    best = advisor.recommend(engine, candidates)
+    if best is None:
+        print("\nrecommendation: nothing worth reorganizing")
+        return 0
+    pid = best.partition_id
+    per_page = objects_per_page(engine, pid)
+    placement = make_policy(args.policy).build(
+        list(db.store.live_oids(pid)), graph, per_page)
+    sizes = [len(cluster) for cluster in placement.clusters]
+    print(f"\nrecommendation: reorganize partition {pid} "
+          f"(score {best.score:.3f})")
+    print(f"  policy {args.policy!r}: {len(sizes)} clusters covering "
+          f"{placement.placed_count} hot objects "
+          f"(target {per_page} objects/page"
+          + (f", largest cluster {max(sizes)}" if sizes else "") + ")")
+    print(f"  run it: repro demo --algorithm ira  # with an "
+          f"AffinityClusteringPlan(graph, policy={args.policy!r})")
     return 0
 
 
@@ -372,7 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("experiment",
                        choices=["table2", "mpl", "partition-size",
-                                "update-prob"])
+                                "update-prob", "clustering"])
     bench.add_argument("--profile", type=int, nargs="?", const=25,
                        default=0, metavar="N",
                        help="run under cProfile and print the top N "
@@ -395,7 +492,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="print the physical layout")
     _add_scale_arguments(inspect)
+    inspect.add_argument("--pages", type=int, default=None, metavar="PID",
+                         help="zoom into one partition: per-page fill "
+                              "and co-resident objects")
     inspect.set_defaults(fn=cmd_inspect)
+
+    cluster = sub.add_parser(
+        "cluster", help="trace the workload, print affinity statistics "
+                        "and the advisor's recommendation")
+    _add_scale_arguments(cluster)
+    cluster.add_argument("--trace-ms", type=float, default=10_000.0,
+                         help="simulated tracing horizon in ms "
+                              "(default 10000)")
+    cluster.add_argument("--policy", default="dstc",
+                         choices=["dstc", "heat"],
+                         help="placement policy to preview (default dstc)")
+    cluster.add_argument("--pair-window", type=int, default=3,
+                         help="max in-transaction distance that counts as "
+                              "a co-access (default 3)")
+    cluster.add_argument("--top", type=int, default=8,
+                         help="how many hot objects / edges to print "
+                              "(default 8)")
+    cluster.set_defaults(fn=cmd_cluster)
 
     chaos = sub.add_parser("chaos",
                            help="crash-point sweep over a reorg run")

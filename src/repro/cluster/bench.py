@@ -1,0 +1,176 @@
+"""The clustering experiment: does reorganization *improve* performance?
+
+The paper measures what reorganization costs (throughput and response
+time while IRA runs); this experiment measures what it buys.  Three arms
+over the same pointer-chasing workload in the disk-resident setting
+(paper §7), all at one pinned seed:
+
+* ``nr``      — no reorganization: the bulk-load layout as-is;
+* ``random``  — IRA with :class:`RandomPlacementPlan`: the same
+  migration traffic, policy-free placement (what the repo did before
+  this subsystem existed, minus even the address-order accident);
+* ``cluster`` — IRA with :class:`AffinityClusteringPlan` over
+  statistics traced from the live workload.
+
+Protocol per arm: (1) **trace** — run the workload for a fixed horizon
+with the tracer attached; (2) **reorganize** — run IRA on partition 1
+under concurrent load with the arm's plan (skipped for ``nr``);
+(3) **measure** — run the workload again, with fresh walk seeds, and
+report the buffer hit ratio and pages fetched per traversal over that
+window alongside throughput and response times.  Placement quality is
+thereby a *gated* number: the summaries land in ``BENCH_5.json`` and any
+drift fails ``repro bench clustering --compare``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..bench.harness import BenchPoint
+from ..config import ExperimentConfig, SystemConfig, WorkloadConfig
+from ..database import Database
+from ..workload import WorkloadDriver
+from .plan import AffinityClusteringPlan, RandomPlacementPlan
+from .tracing import ClusterTracer
+
+#: The experiment's arms, in reporting order.
+CLUSTERING_ARMS = ("nr", "random", "cluster")
+
+
+class ClusteringScale:
+    """Per-scale parameters (keyed by the bench scale names)."""
+
+    __slots__ = ("objects_per_partition", "mpl", "buffer_pool_pages",
+                 "trace_ms", "measure_ms")
+
+    def __init__(self, objects_per_partition: int, mpl: int,
+                 buffer_pool_pages: int, trace_ms: float, measure_ms: float):
+        self.objects_per_partition = objects_per_partition
+        self.mpl = mpl
+        self.buffer_pool_pages = buffer_pool_pages
+        self.trace_ms = trace_ms
+        self.measure_ms = measure_ms
+
+
+#: One data partition keeps the signal clean: every thread's walks hit
+#: the partition being reorganized, so the buffer-pool numbers measure
+#: exactly the placement under test.  The buffer pool is sized well
+#: below the partition's page count — with everything resident, layout
+#: cannot matter.
+CLUSTERING_SCALES: Dict[str, ClusteringScale] = {
+    "quick": ClusteringScale(objects_per_partition=340, mpl=8,
+                             buffer_pool_pages=6,
+                             trace_ms=20_000.0, measure_ms=20_000.0),
+    "standard": ClusteringScale(objects_per_partition=1020, mpl=16,
+                                buffer_pool_pages=10,
+                                trace_ms=40_000.0, measure_ms=40_000.0),
+    "paper": ClusteringScale(objects_per_partition=4080, mpl=30,
+                             buffer_pool_pages=24,
+                             trace_ms=60_000.0, measure_ms=60_000.0),
+}
+
+
+def clustering_workload(scale: ClusteringScale,
+                        seed: int = 42) -> WorkloadConfig:
+    return WorkloadConfig(num_partitions=1,
+                          objects_per_partition=scale.objects_per_partition,
+                          mpl=scale.mpl, seed=seed)
+
+
+def clustering_system(scale: ClusteringScale) -> SystemConfig:
+    return SystemConfig(disk_resident=True,
+                        buffer_pool_pages=scale.buffer_pool_pages)
+
+
+def run_clustering_arm(arm: str, scale: ClusteringScale,
+                       seed: int = 42, policy: str = "dstc") -> BenchPoint:
+    """Run one arm's trace / reorganize / measure protocol."""
+    if arm not in CLUSTERING_ARMS:
+        raise ValueError(f"unknown arm {arm!r}; "
+                         f"choose from {CLUSTERING_ARMS}")
+    workload = clustering_workload(scale, seed=seed)
+    system = clustering_system(scale)
+    db, layout = Database.with_workload(workload, system=system)
+    engine = db.engine
+
+    def driver(phase_offset: int) -> WorkloadDriver:
+        # Fresh thread-walk seeds per phase: the measured walks are not
+        # the traced walks, so clustering has to generalize, not recall.
+        phased = workload.copy(seed=seed + phase_offset)
+        return WorkloadDriver(engine, layout, ExperimentConfig(
+            workload=phased, system=system))
+
+    # Phase 1 — trace.  The tracer rides along in every arm (it is free
+    # and provably inert); only the cluster arm consumes the statistics.
+    tracer = ClusterTracer()
+    engine.tracer = tracer
+    driver(101).run(horizon_ms=scale.trace_ms)
+    engine.tracer = None
+
+    # Phase 2 — reorganize partition 1 under concurrent load.
+    reorg_stats = None
+    if arm != "nr":
+        plan = (RandomPlacementPlan(seed=seed) if arm == "random"
+                else AffinityClusteringPlan(tracer.graph, policy=policy))
+        reorg_metrics = driver(202).run(
+            reorganizer=db.reorganizer(1, "ira", plan=plan))
+        reorg_stats = reorg_metrics.reorg_stats
+
+    # Phase 3 — measure.
+    metrics = driver(303).run(horizon_ms=scale.measure_ms)
+    metrics.algorithm = arm
+    report = db.verify_integrity()
+    if not report.ok:
+        raise AssertionError(
+            f"integrity violated after clustering arm {arm!r}: "
+            f"{report.problems()[:3]}")
+    overrides: Dict[str, object] = {"phase": "measure"}
+    if reorg_stats is not None:
+        overrides["objects_migrated"] = reorg_stats.objects_migrated
+        overrides["reorg_duration_ms"] = round(reorg_stats.duration_ms, 1)
+    return BenchPoint(algorithm=arm, metrics=metrics, overrides=overrides,
+                      counters=engine.sim.counters())
+
+
+def run_clustering_experiment(scale_name: str, seed: int = 42,
+                              policy: str = "dstc",
+                              progress=None) -> Dict[str, BenchPoint]:
+    """All three arms at one scale; NR first (the reference layout)."""
+    scale = CLUSTERING_SCALES[scale_name]
+    points: Dict[str, BenchPoint] = {}
+    for arm in CLUSTERING_ARMS:
+        points[arm] = run_clustering_arm(arm, scale, seed=seed,
+                                         policy=policy)
+        if progress is not None:
+            m = points[arm].metrics
+            progress(f"{arm}: hit ratio {m.buffer_hit_ratio:.1%}, "
+                     f"{m.pages_fetched_per_txn:.2f} pages/txn")
+    return points
+
+
+def format_clustering(points: Dict[str, BenchPoint]) -> str:
+    """The experiment's data table: placement quality next to the
+    classic throughput/response-time metrics."""
+    lines = [
+        "Clustering experiment: buffer-pool payoff of workload-driven "
+        "placement (measure window)",
+        f"{'':8} {'hit-ratio':>9} {'pages/txn':>9} {'tput(tps)':>10} "
+        f"{'avg RT(ms)':>11} {'migrated':>9}",
+    ]
+    for arm in CLUSTERING_ARMS:
+        point = points[arm]
+        m = point.metrics
+        migrated = point.overrides.get("objects_migrated", "-")
+        lines.append(
+            f"{arm.upper():8} {m.buffer_hit_ratio:9.2%} "
+            f"{m.pages_fetched_per_txn:9.2f} {m.throughput_tps:10.1f} "
+            f"{m.avg_response_ms:11.0f} {migrated!s:>9}")
+    cluster = points["cluster"].metrics
+    best_other = max(points["nr"].metrics.buffer_hit_ratio,
+                     points["random"].metrics.buffer_hit_ratio)
+    verdict = ("clustering wins" if cluster.buffer_hit_ratio > best_other
+               else "CLUSTERING DOES NOT WIN")
+    lines.append(f"\n{verdict}: cluster hit ratio "
+                 f"{cluster.buffer_hit_ratio:.2%} vs best baseline "
+                 f"{best_other:.2%}")
+    return "\n".join(lines)

@@ -117,6 +117,10 @@ class StorageEngine:
         #: Access-history recorder (``repro.explore.history.HistoryRecorder``)
         #: fed by Transaction/TransactionManager when installed.
         self.history = None
+        #: Clustering tracer (``repro.cluster.ClusterTracer``) fed by
+        #: user transactions when installed; ``None`` costs nothing and
+        #: tracing itself never perturbs the simulation.
+        self.tracer = None
         self._wire_read_verification()
 
     def _wire_read_verification(self) -> None:
@@ -291,6 +295,7 @@ class StorageEngine:
             (checkpoint_payload or {}).get("unlogged_base", False))
         engine.checkpoint_hook = None
         engine.history = None
+        engine.tracer = None
         engine._wire_read_verification()
         return engine
 

@@ -58,6 +58,18 @@ class BufferStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values, for windowed (per-run) deltas."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def since(self, base: Optional[Dict[str, int]]) -> Dict[str, int]:
+        """Counter deltas since a :meth:`snapshot` (``base=None`` means
+        "since construction")."""
+        if base is None:
+            return self.snapshot()
+        return {name: getattr(self, name) - base[name]
+                for name in self.__slots__}
+
     def __repr__(self) -> str:
         return (f"<BufferStats hits={self.hits} misses={self.misses} "
                 f"hit_ratio={self.hit_ratio:.2%}>")

@@ -64,8 +64,11 @@ class Transaction:
         self.last_lsn = 0
         # The explore harness installs its recorder before any
         # transaction begins, so snapshotting it here is safe and saves
-        # a getattr per access on the hot paths.
+        # a getattr per access on the hot paths.  Same for the clustering
+        # tracer — which additionally never traces system transactions
+        # (a reorganizer touching every object is not workload heat).
         self._history = getattr(engine, "history", None)
+        self._tracer = None if system else getattr(engine, "tracer", None)
         #: References in the transaction's local memory (§2 model).
         self.local_refs: Set[Oid] = set()
         #: Objects this transaction created (allowed to reference freely).
@@ -308,6 +311,8 @@ class Transaction:
         yield from self.engine.log.flush(lsn)
         self.status = TxnStatus.COMMITTED
         self.engine.txns.finish(self)
+        if self._tracer is not None:
+            self._tracer.on_commit(self.tid)
 
     def abort(self) -> Generator[Any, Any, None]:
         """Roll back every change via the undo chain, writing CLRs."""
@@ -334,6 +339,8 @@ class Transaction:
         self._log(AbortRecord(self.tid, self.last_lsn))
         self.status = TxnStatus.ABORTED
         self.engine.txns.finish(self)
+        if self._tracer is not None:
+            self._tracer.on_abort(self.tid)
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -346,9 +353,13 @@ class Transaction:
 
     def _note(self, action: str, oid: Oid) -> None:
         """Feed one observed access into the engine's history recorder
-        (``repro.explore``'s serializability oracle); no-op otherwise."""
+        (``repro.explore``'s serializability oracle) and the clustering
+        tracer (``repro.cluster``'s heat/affinity statistics); no-op
+        otherwise."""
         if self._history is not None:
             self._history.record(self, action, oid)
+        if self._tracer is not None:
+            self._tracer.note(self.tid, oid)
 
     def _log(self, record: LogRecord) -> int:
         lsn = self.engine.log.append(record)

@@ -67,6 +67,8 @@ class WorkloadDriver:
         self._stop = False
         sim = self.engine.sim
         self._start_ms = sim.now
+        buffer = self.engine.buffer
+        buffer_base = buffer.stats.snapshot() if buffer is not None else None
 
         for thread_id in range(self.config.mpl):
             sim.spawn(self._thread_process(thread_id, metrics),
@@ -96,9 +98,12 @@ class WorkloadDriver:
         metrics.forced_lock_timeouts = self.engine.locks.stats.forced_timeouts
         metrics.io_faults = self.engine.log.io_faults
         metrics.io_retries = self.engine.log.io_retries
-        if self.engine.buffer is not None:
-            metrics.io_faults += self.engine.buffer.stats.io_faults
-            metrics.io_retries += self.engine.buffer.stats.io_retries
+        if buffer is not None:
+            metrics.io_faults += buffer.stats.io_faults
+            metrics.io_retries += buffer.stats.io_retries
+            # Windowed deltas: a multi-phase experiment (trace, reorganize,
+            # measure) gets each run's own page-fetch accounting.
+            metrics.buffer = buffer.stats.since(buffer_base)
         metrics.cpu_utilization = self.engine.cpu.utilization(
             horizon=metrics.window_ms or None)
         return metrics
@@ -152,6 +157,10 @@ class WorkloadDriver:
         if close_at_end and remaining["count"] == 0:
             self._close(metrics)
         # Track migrated persistent roots so later runs/examples against
-        # the same database keep working.
+        # the same database keep working; an attached tracer's statistics
+        # follow the objects to their new addresses the same way.
         self.layout.remap(stats.mapping)
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None:
+            tracer.graph.remap(stats.mapping)
         return stats

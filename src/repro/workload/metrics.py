@@ -52,6 +52,10 @@ class ExperimentMetrics:
     #: retries they cost.
     io_faults: int = 0
     io_retries: int = 0
+    #: Buffer-pool counter deltas over this run's window (disk-resident
+    #: setting only; ``None`` when the database is memory-resident) —
+    #: the placement-quality signal the clustering experiment gates on.
+    buffer: Optional[Dict[str, int]] = None
 
     # Derived-statistics caches, keyed on the records generation (its
     # length — records are append-only in practice; a shrink triggers a
@@ -168,7 +172,32 @@ class ExperimentMetrics:
     def top_responses(self, n: int = 10) -> List[float]:
         return sorted(self._cached_times(), reverse=True)[:n]
 
+    @property
+    def buffer_hit_ratio(self) -> float:
+        if not self.buffer:
+            return 0.0
+        total = self.buffer["hits"] + self.buffer["misses"]
+        return self.buffer["hits"] / total if total else 0.0
+
+    @property
+    def pages_fetched_per_txn(self) -> float:
+        """Page faults per completed transaction over this run's window —
+        the paper-style cost of one traversal under the current layout."""
+        if not self.buffer or not self.completed:
+            return 0.0
+        return self.buffer["misses"] / self.completed
+
     def summary(self) -> Dict[str, float]:
+        out = self._base_summary()
+        if self.buffer is not None:
+            buffer = dict(self.buffer)
+            buffer["hit_ratio"] = round(self.buffer_hit_ratio, 4)
+            buffer["pages_fetched_per_txn"] = round(
+                self.pages_fetched_per_txn, 3)
+            out["buffer"] = buffer
+        return out
+
+    def _base_summary(self) -> Dict[str, float]:
         return {
             "algorithm": self.algorithm,
             "mpl": self.mpl,

@@ -1,0 +1,183 @@
+"""Tests for repro.cluster.tracing: the affinity graph and the tracer."""
+
+import pytest
+
+from tests.conftest import committed, committed_system, make_object
+
+from repro.cluster import AffinityGraph, ClusterTracer
+from repro.storage import Oid
+
+
+A = Oid(1, 0, 0)
+B = Oid(1, 0, 1)
+C = Oid(1, 1, 0)
+D = Oid(2, 0, 0)
+
+
+# -- AffinityGraph ----------------------------------------------------------
+
+
+def test_observe_weights_by_distance():
+    graph = AffinityGraph()
+    graph.observe([A, B, C], pair_window=2)
+    assert graph.heat_of(A) == graph.heat_of(B) == graph.heat_of(C) == 1.0
+    assert graph.edges[(A, B)] == 1.0          # adjacent
+    assert graph.edges[(B, C)] == 1.0
+    assert graph.edges[(A, C)] == 0.5          # distance 2
+    assert graph.accesses == 3 and graph.pairs == 3
+
+
+def test_observe_window_limits_pairs():
+    graph = AffinityGraph()
+    graph.observe([A, B, C], pair_window=1)
+    assert (A, C) not in graph.edges
+
+
+def test_observe_ignores_self_pairs():
+    graph = AffinityGraph()
+    graph.observe([A, A, A], pair_window=3)
+    assert graph.heat_of(A) == 3.0
+    assert not graph.edges
+
+
+def test_observe_is_order_insensitive_in_edge_keys():
+    graph = AffinityGraph()
+    graph.observe([B, A], pair_window=1)
+    graph.observe([A, B], pair_window=1)
+    assert graph.edges == {(A, B): 2.0}
+
+
+def test_decay_halves_and_drops_dust():
+    graph = AffinityGraph()
+    graph.observe([A, B], pair_window=1)
+    graph.decay(0.5)
+    assert graph.heat_of(A) == 0.5
+    graph.decay(1e-4)                           # pushes below the floor
+    assert not graph.heat and not graph.edges
+
+
+def test_prune_keeps_heaviest_entries():
+    graph = AffinityGraph(max_objects=4)
+    for i in range(4):
+        oid = Oid(1, 0, i)
+        graph.observe([oid] * (i + 1), pair_window=1)
+    graph.observe([Oid(1, 0, 9)], pair_window=1)  # 5th object: prune to 3
+    assert len(graph.heat) == 3
+    assert graph.heat_of(Oid(1, 0, 3)) == 4.0   # the heaviest survived
+    assert graph.heat_of(Oid(1, 0, 0)) == 0.0
+
+
+def test_remap_merges_collisions_additively():
+    graph = AffinityGraph()
+    graph.observe([A, C], pair_window=1)
+    graph.observe([B, C], pair_window=1)
+    graph.remap({A: B})                          # A's stats fold into B
+    assert graph.heat_of(B) == 2.0
+    assert graph.edges == {(B, C): 2.0}
+
+
+def test_remap_drops_edges_that_collapse_to_self():
+    graph = AffinityGraph()
+    graph.observe([A, B], pair_window=1)
+    graph.remap({A: B})
+    assert not graph.edges
+
+
+def test_partition_queries():
+    graph = AffinityGraph()
+    graph.observe([A, B, D], pair_window=1)
+    assert graph.partition_heat() == {1: 2.0, 2: 1.0}
+    assert graph.partition_edges(1) == [((A, B), 1.0)]
+    assert graph.partition_edges(2) == []        # (B, D) crosses partitions
+
+
+def test_adjacency_restricted_to_members():
+    graph = AffinityGraph()
+    graph.observe([A, B, C], pair_window=2)
+    adj = graph.adjacency([A, B])
+    assert adj == {A: {B: 1.0}, B: {A: 1.0}}
+
+
+def test_top_queries_are_deterministic():
+    graph = AffinityGraph()
+    graph.observe([A, B], pair_window=1)
+    graph.observe([B, C], pair_window=1)
+    assert graph.top_hot(1) == [(B, 2.0)]        # ties break on the OID
+    assert graph.top_edges(2) == [((A, B), 1.0), ((B, C), 1.0)]
+
+
+# -- ClusterTracer ----------------------------------------------------------
+
+
+def test_tracer_folds_on_commit_only():
+    tracer = ClusterTracer(pair_window=2)
+    tracer.note(7, A)
+    tracer.note(7, B)
+    assert not tracer.graph.heat                 # nothing until commit
+    tracer.on_commit(7)
+    assert tracer.commits == 1
+    assert tracer.graph.edges == {(A, B): 1.0}
+
+
+def test_tracer_discards_aborted_transactions():
+    tracer = ClusterTracer()
+    tracer.note(7, A)
+    tracer.on_abort(7)
+    tracer.on_commit(7)                          # nothing left to fold
+    assert tracer.aborts == 1 and tracer.commits == 0
+    assert not tracer.graph.heat
+
+
+def test_tracer_periodic_decay():
+    tracer = ClusterTracer(decay=0.5, decay_every=2)
+    for tid in range(2):
+        tracer.note(tid, A)
+        tracer.on_commit(tid)
+    assert tracer.graph.heat_of(A) == 1.0        # (1 + 1) * 0.5 at commit 2
+    assert tracer.graph.accesses == 2            # lifetime totals undecayed
+
+
+def test_tracer_rejects_bad_window():
+    with pytest.raises(ValueError):
+        ClusterTracer(pair_window=0)
+
+
+# -- transaction integration ------------------------------------------------
+
+
+def test_user_transactions_feed_the_tracer(engine):
+    a = committed(engine, lambda txn: txn.create_object(1, make_object()))
+    b = committed(engine, lambda txn: txn.create_object(1, make_object()))
+    engine.tracer = tracer = ClusterTracer()
+
+    def body(txn):
+        yield from txn.read(a)
+        yield from txn.read(b)
+        return None
+    committed(engine, body)
+    assert tracer.commits == 1
+    assert tracer.graph.edges == {((a, b) if a < b else (b, a)): 1.0}
+
+
+def test_system_transactions_are_never_traced(engine):
+    a = committed(engine, lambda txn: txn.create_object(1, make_object()))
+    engine.tracer = tracer = ClusterTracer()
+
+    def body(txn):
+        yield from txn.read(a)
+        return None
+    committed_system(engine, body)
+    assert tracer.commits == 0 and not tracer.graph.heat
+
+
+def test_tracer_snapshot_at_begin(engine):
+    """A transaction begun before the tracer was installed stays
+    untraced — the hook is sampled at construction, like history."""
+    a = committed(engine, lambda txn: txn.create_object(1, make_object()))
+
+    def body(txn):
+        engine.tracer = ClusterTracer()
+        yield from txn.read(a)
+        return None
+    committed(engine, body)
+    assert engine.tracer.commits == 0 and not engine.tracer.graph.heat
