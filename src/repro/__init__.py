@@ -20,7 +20,10 @@ Quick start::
 
 from .config import (
     ExperimentConfig,
+    FleetConfig,
+    GovernorConfig,
     ReorgConfig,
+    ServeConfig,
     SystemConfig,
     WorkloadConfig,
 )
@@ -56,7 +59,8 @@ from .errors import (
     ReorganizationError,
     TransactionStateError,
 )
-from .concurrency import LockMode, LockTimeoutError
+from .concurrency import DeadlockError, LockMode, LockTimeoutError
+from .serve import ReorgFleet, ReorgGovernor, ServeMetrics, ServingLayer
 from .storage import CorruptionError, ObjectImage, Oid
 from .storage.scrub import Scrubber, ScrubStats
 from .verify import VerifyReport, deep_verify
@@ -75,6 +79,9 @@ __all__ = [
     "ClusterTracer",
     "ClusteringAdvisor",
     "ClusteringPlan",
+    "DeadlockError",
+    "FleetConfig",
+    "GovernorConfig",
     "RandomPlacementPlan",
     "CompactionPlan",
     "CopyingGarbageCollector",
@@ -102,10 +109,15 @@ __all__ = [
     "ReferenceProtocolError",
     "RelocationPlan",
     "ReorgConfig",
+    "ReorgFleet",
+    "ReorgGovernor",
     "ReorgStats",
     "ReorganizationError",
     "ScrubStats",
     "Scrubber",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServingLayer",
     "StorageEngine",
     "SystemConfig",
     "TransactionStateError",

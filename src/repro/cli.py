@@ -120,6 +120,11 @@ def cmd_demo(args) -> int:
           f"{metrics.total_retries}")
     print(f"  reorg dl-retries     {stats.deadlock_retries} "
           f"(backoff {stats.backoff_ms_total:.0f} ms)")
+    print(f"  deadlock aborts      {metrics.deadlock_aborts} "
+          f"({metrics.deadlock_victims} cycle victims, "
+          f"{metrics.retry_budget_exhausted} gave up)")
+    print(f"  p99 / p999 response  {metrics.p99_response_ms:.0f} / "
+          f"{metrics.p999_response_ms:.0f} ms")
     report = db.verify_integrity()
     print(f"\n  integrity: {'OK' if report.ok else 'BROKEN'}")
     return 0 if report.ok else 1
@@ -138,6 +143,21 @@ def _bench_figure(args, workload):
             args.scale,
             progress=lambda line: print(f"  {line}", file=sys.stderr))
         return format_clustering(points), figure_payload(points, 0.0)
+    if args.experiment == "scale":
+        from .serve.bench import SCALE_ARMS, format_scale, run_scale_experiment
+        rows = run_scale_experiment(
+            args.scale,
+            progress=lambda line: print(f"  {line}", file=sys.stderr))
+        payload = {
+            "wall_clock_s": 0.0,
+            "metrics": {str(servers): {arm: rows[servers][arm].metrics.summary()
+                                       for arm in SCALE_ARMS}
+                        for servers in sorted(rows)},
+            "counters": {str(servers): {arm: rows[servers][arm].counters
+                                        for arm in SCALE_ARMS}
+                         for servers in sorted(rows)},
+        }
+        return format_scale(rows), payload
     sweeps = {
         "mpl": ("mpl", SCALES[args.scale].mpl_points),
         "partition-size": ("objects_per_partition",
@@ -469,7 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("experiment",
                        choices=["table2", "mpl", "partition-size",
-                                "update-prob", "clustering"])
+                                "update-prob", "clustering", "scale"])
     bench.add_argument("--profile", type=int, nargs="?", const=25,
                        default=0, metavar="N",
                        help="run under cProfile and print the top N "

@@ -106,3 +106,22 @@ class ClusteringAdvisor:
         if not ranked or ranked[0].score <= self.min_score:
             return None
         return ranked[0]
+
+    def claims(self, engine, count: int,
+               candidates: Optional[Iterable[int]] = None) -> List[int]:
+        """The claim queue for a reorganizer fleet: up to ``count``
+        partition ids in recommendation order.
+
+        Partitions beating ``min_score`` come first (highest payoff
+        first); if fewer than ``count`` qualify the queue is padded with
+        the remaining candidates in rank order, so a fleet told to
+        reorganize N partitions always gets N deterministic claims even
+        on a cold (untraced) advisor.
+        """
+        ranked = self.rank(engine, candidates)
+        qualified = [a.partition_id for a in ranked
+                     if a.score > self.min_score]
+        if len(qualified) < count:
+            qualified.extend(a.partition_id for a in ranked
+                             if a.partition_id not in qualified)
+        return qualified[:count]

@@ -1,9 +1,11 @@
 """Concurrency control: the lock manager and latches."""
 
 from .latch import LatchManager
-from .locks import LockManager, LockMode, LockStats, LockTimeoutError
+from .locks import (DeadlockError, LockManager, LockMode, LockStats,
+                    LockTimeoutError)
 
 __all__ = [
+    "DeadlockError",
     "LatchManager",
     "LockManager",
     "LockMode",

@@ -5,6 +5,20 @@ in the paper's experiments — a lock-timeout mechanism for deadlock
 handling ("a lock timeout mechanism was used to handle deadlocks and was
 set to one second", §5).
 
+Beyond the paper's timeout scheme, the manager can run a **waits-for
+deadlock detector** (``detection="waits-for"``): whenever a request has
+to block, the new wait edge is checked for a cycle in the waits-for
+graph, and if the requester closed a cycle it is made the victim
+immediately — a :class:`DeadlockError` (a :class:`LockTimeoutError`
+subclass, so every existing abort/retry path applies) is raised at block
+time instead of one full timeout later.  Detection-at-block catches
+*every* deadlock, because a cycle can only come into existence at the
+instant its final wait edge is added; the victim choice (the requester
+that closed the cycle) is therefore deterministic.  The timeout stays
+armed as a fallback for non-cycle starvation.  The waits-for graph
+includes both lock holders and incompatible requests queued ahead
+(grants are FIFO: a request behind a blocked request is blocked too).
+
 Two features exist specifically for the paper's algorithms:
 
 * **Strict 2PL bookkeeping** — ``release_all(tid)`` frees everything a
@@ -47,6 +61,24 @@ class LockTimeoutError(Exception):
         self.mode = mode
 
 
+class DeadlockError(LockTimeoutError):
+    """The waits-for detector proved a cycle and chose this requester as
+    the victim.  Subclasses :class:`LockTimeoutError` so every existing
+    handler (transaction abort + retry, reorganizer batch retry) treats
+    a detected deadlock exactly like a timed-out one — just much sooner.
+    """
+
+    def __init__(self, tid: int, key, mode: LockMode, cycle):
+        Exception.__init__(
+            self, f"txn {tid} would deadlock requesting {mode.value} on "
+                  f"{key} (cycle {'→'.join(str(t) for t in cycle)})")
+        self.tid = tid
+        self.key = key
+        self.mode = mode
+        #: The tids on the waits-for cycle the request would have closed.
+        self.cycle = tuple(cycle)
+
+
 class _Request:
     __slots__ = ("tid", "mode", "event", "upgrade")
 
@@ -69,7 +101,7 @@ class LockStats:
     """Aggregate contention counters, reported by the benchmarks."""
 
     __slots__ = ("requests", "waits", "timeouts", "forced_timeouts",
-                 "total_wait_ms")
+                 "total_wait_ms", "deadlock_victims", "cycles_detected")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -77,21 +109,34 @@ class LockStats:
         self.timeouts = 0
         self.forced_timeouts = 0
         self.total_wait_ms = 0.0
+        #: Requests refused at block time by the waits-for detector.
+        self.deadlock_victims = 0
+        #: Distinct cycles the detector observed (== victims: one victim
+        #: breaks exactly the cycle it closed).
+        self.cycles_detected = 0
 
     def __repr__(self) -> str:
         return (f"<LockStats requests={self.requests} waits={self.waits} "
-                f"timeouts={self.timeouts}>")
+                f"timeouts={self.timeouts} "
+                f"deadlock_victims={self.deadlock_victims}>")
 
 
 class LockManager:
     """S/X locks keyed by arbitrary hashable keys (OIDs in practice)."""
 
     def __init__(self, sim: Simulator, timeout_ms: float = 1000.0,
-                 track_history: bool = True):
+                 track_history: bool = True, detection: str = "timeout"):
+        if detection not in ("timeout", "waits-for"):
+            raise ValueError(f"detection={detection!r}; choose 'timeout' "
+                             f"or 'waits-for'")
         self.sim = sim
         self.timeout_ms = timeout_ms
         self.track_history = track_history
+        self.detection = detection
         self._table: Dict[object, _LockEntry] = {}
+        #: tid -> key it is currently blocked on (a process waits on at
+        #: most one lock at a time) — the waits-for graph's wait edges.
+        self._waiting: Dict[int, object] = {}
         self._held_by: Dict[int, Set[object]] = {}
         # §4.1 history: key -> active tids that ever locked it, + reverse.
         self._history: Dict[object, Set[int]] = {}
@@ -167,6 +212,18 @@ class LockManager:
         else:
             entry.queue.append(request)
         self.stats.waits += 1
+        self._waiting[tid] = key
+        if self.detection == "waits-for":
+            cycle = self._find_cycle(tid)
+            if cycle is not None:
+                # The requester closed a waits-for cycle: it is the
+                # victim, refused at block time (the timeout never runs).
+                self.stats.cycles_detected += 1
+                self.stats.deadlock_victims += 1
+                del self._waiting[tid]
+                entry.queue.remove(request)
+                self._dispatch(entry, key)
+                raise DeadlockError(tid, key, mode, cycle)
         wait_started = self.sim.now
         effective_timeout = (timeout_ms if timeout_ms is not None
                              else self.timeout_ms)
@@ -181,8 +238,24 @@ class LockManager:
             except ValueError:
                 pass  # granted concurrently with the timeout firing
             else:
+                if self._waiting.get(tid) == key:
+                    del self._waiting[tid]
                 self._dispatch(entry, key)
                 raise LockTimeoutError(tid, key, mode) from None
+        except BaseException:
+            # Killed while blocked (chaos kill): withdraw the queued
+            # request so a later dispatch doesn't grant to the corpse.
+            # A lock granted concurrently with the kill is settled when
+            # the orphaned transaction is reaped (``release_all``).
+            try:
+                entry.queue.remove(request)
+            except ValueError:
+                pass
+            else:
+                self._dispatch(entry, key)
+            if self._waiting.get(tid) == key:
+                del self._waiting[tid]
+            raise
         finally:
             self.stats.total_wait_ms += self.sim.now - wait_started
 
@@ -250,6 +323,65 @@ class LockManager:
         """Active transactions that have ever locked ``key`` (§4.1)."""
         return set(self._history.get(key, ()))
 
+    def waiting_on(self, tid: int):
+        """The key ``tid`` is currently blocked on, or ``None``."""
+        return self._waiting.get(tid)
+
+    # -- waits-for deadlock detection ----------------------------------------------
+
+    def _blockers(self, tid: int, key) -> Set[int]:
+        """Tids that ``tid``'s queued request on ``key`` waits for: every
+        granted holder (other than ``tid`` itself — upgrades hold S), plus
+        every incompatible request queued ahead of it (grants are FIFO, so
+        a request behind a blocked request is transitively blocked)."""
+        entry = self._table.get(key)
+        if entry is None:
+            return set()
+        out = {t for t in entry.granted if t != tid}
+        for request in entry.queue:
+            if request.tid == tid:
+                break
+            out.add(request.tid)
+        return out
+
+    def _find_cycle(self, start: int):
+        """DFS over the waits-for graph from ``start`` (which just added
+        a wait edge); returns the tid cycle as a list, or ``None``.  Only
+        waiting tids have out-edges, so the graph is tiny — one node per
+        blocked process."""
+        path: list = []
+        on_path: Set[int] = set()
+        # stack of (tid, iterator over its blockers)
+        key = self._waiting.get(start)
+        if key is None:
+            return None
+        stack = [(start, iter(self._blockers(start, key)))]
+        path.append(start)
+        on_path.add(start)
+        visited: Set[int] = {start}
+        while stack:
+            tid, edges = stack[-1]
+            advanced = False
+            for nxt in edges:
+                if nxt in on_path:
+                    # Found a cycle: slice the path from nxt onwards.
+                    return path[path.index(nxt):]
+                if nxt in visited:
+                    continue
+                visited.add(nxt)
+                nxt_key = self._waiting.get(nxt)
+                if nxt_key is None:
+                    continue  # not blocked: no out-edges
+                stack.append((nxt, iter(self._blockers(nxt, nxt_key))))
+                path.append(nxt)
+                on_path.add(nxt)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_path.discard(path.pop())
+        return None
+
     # -- internals -----------------------------------------------------------------------
 
     def _grantable(self, entry: _LockEntry, mode: LockMode,
@@ -286,6 +418,7 @@ class LockManager:
                 if self._grantable(entry, LockMode.X,
                                    ignore_tid=request.tid):
                     entry.queue.popleft()
+                    self._waiting.pop(request.tid, None)
                     entry.granted[request.tid] = LockMode.X
                     if self.observer is not None:
                         self.observer("grant", request.tid, key, LockMode.X)
@@ -294,6 +427,7 @@ class LockManager:
                 break
             if self._grantable(entry, request.mode):
                 entry.queue.popleft()
+                self._waiting.pop(request.tid, None)
                 self._grant(entry, request.tid, request.mode, key)
                 request.event.succeed()
                 continue

@@ -45,6 +45,11 @@ class SystemConfig:
 
     ert_bucket_capacity: int = 8          # extendible-hash bucket size
     track_lock_history: bool = True       # §4.1 support in the lock manager
+    #: Deadlock handling: ``"timeout"`` is the paper's scheme (§5); with
+    #: ``"waits-for"`` the lock manager detects cycles at block time and
+    #: victimizes the requester that closed the cycle (the timeout stays
+    #: armed as a fallback).  The serving layer defaults to waits-for.
+    deadlock_detection: str = "timeout"
     enforce_ref_protocol: bool = True     # refs must come from read objects
     strict_transactions: bool = True      # strict 2PL (relaxed per §4.1)
 
@@ -140,6 +145,91 @@ class ReorgConfig:
     retry_seed: int = 0
 
     def copy(self, **overrides) -> "ReorgConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class ServeConfig:
+    """Front-end serving layer (``repro.serve``): open-loop arrivals,
+    admission control, deadlines, and retry budgets."""
+
+    #: Arrival process: ``"poisson"`` (stationary), ``"flash-crowd"``
+    #: (rate multiplied by ``flash_multiplier`` inside the flash window),
+    #: or ``"diurnal"`` (sinusoidal rate modulation).
+    arrival: str = "poisson"
+    #: Mean open-loop arrival rate (requests per simulated second).
+    arrival_rate_tps: float = 40.0
+    flash_multiplier: float = 6.0
+    flash_start_ms: float = 10_000.0
+    flash_duration_ms: float = 10_000.0
+    diurnal_period_ms: float = 40_000.0
+    #: Diurnal peak-to-mean swing in [0, 1).
+    diurnal_amplitude: float = 0.6
+    #: Zipf exponent for partition skew (0 = uniform).
+    zipf_s: float = 1.1
+    #: Bounded admission queue: arrivals beyond this depth are shed.
+    queue_depth: int = 64
+    #: Server pool size — concurrent in-flight requests (the MPL).
+    servers: int = 30
+    #: A queued request still unserved after this long is shed (stale).
+    queue_deadline_ms: float = 2_000.0
+    #: End-to-end deadline: queue wait + execution; a miss is recorded
+    #: (the request still completes — the simulator cannot preempt a
+    #: transaction mid-walk, matching a real server finishing the work).
+    response_deadline_ms: float = 8_000.0
+    #: Per-request retry budget after deadlock/timeout aborts; an
+    #: exhausted budget gives the request up (a distinct counter).
+    retry_budget: int = 8
+    #: How long arrivals are generated (the measurement window may close
+    #: later, once in-flight requests drain).
+    duration_ms: float = 30_000.0
+    seed: int = 42
+
+    def copy(self, **overrides) -> "ServeConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class FleetConfig:
+    """Multi-worker reorganizer fleet: partition claims via sim-time
+    leases with heartbeats (crash takeover resumes from REORG_PROGRESS)."""
+
+    workers: int = 2
+    #: Algorithm per worker: ``"ira"`` or ``"ira-2lock"``.
+    algorithm: str = "ira-2lock"
+    #: Lease duration; a worker that misses heartbeats for this long is
+    #: presumed dead and its partition claim becomes takeable.
+    lease_ms: float = 600.0
+    #: Heartbeat renewal interval (must be well under ``lease_ms``).
+    heartbeat_ms: float = 150.0
+    #: Partitions each fleet run reorganizes (claimed one at a time per
+    #: worker from the advisor's recommendation order).
+    partitions: int = 2
+
+    def copy(self, **overrides) -> "FleetConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class GovernorConfig:
+    """Reorg governor: paces or pauses the fleet when the serving layer's
+    shed/deadline-miss rates breach the SLO."""
+
+    enabled: bool = True
+    #: Sampling tick and sliding-window length for rate estimation.
+    tick_ms: float = 250.0
+    window_ms: float = 2_000.0
+    #: SLO thresholds as fractions of arrivals in the window.
+    shed_slo: float = 0.02
+    deadline_miss_slo: float = 0.05
+    #: Pacing delay injected between reorganizer migration batches when
+    #: the SLO is breached (the governor "paces").
+    pace_delay_ms: float = 40.0
+    #: Consecutive breached ticks after which workers pause outright
+    #: until the rates recover below the SLO.
+    pause_after_breaches: int = 4
+
+    def copy(self, **overrides) -> "GovernorConfig":
         return replace(self, **overrides)
 
 

@@ -111,6 +111,12 @@ class IncrementalReorganizer:
         #: (oid, new_oid) and "lock" (tid, target).  Must not mutate
         #: reorganizer state.
         self.probe = None
+        #: Pacing hook: a zero-arg callable returning a generator the
+        #: migration loop drives between batches.  The reorg governor
+        #: (:mod:`repro.serve.governor`) uses it to delay or pause the
+        #: worker when the serving layer's SLO is breached; ``None``
+        #: runs flat out.
+        self.pacer = None
 
     def _probe(self, event: str, **info) -> None:
         if self.probe is not None:
@@ -196,6 +202,8 @@ class IncrementalReorganizer:
             if self.state_store is not None and self.cfg.checkpoint_every:
                 if len(self._migrated) % self.cfg.checkpoint_every < batch_size:
                     self._checkpoint_state()
+            if self.pacer is not None:
+                yield from self.pacer()
 
     def _migrate_batch(self, batch: List[Oid]) -> Generator[Any, Any, None]:
         """Migrate a group of objects in one system transaction (§4.3),
@@ -214,7 +222,7 @@ class IncrementalReorganizer:
                 yield from txn.commit()
             except LockTimeoutError:
                 self.stats.deadlock_retries += 1
-                yield from txn.abort()
+                yield from txn.abort(reason="deadlock")
                 yield from self._retry_backoff(attempt)
                 continue
             self._apply_bookkeeping(batch_mapping, bookkeeping)

@@ -145,6 +145,8 @@ class TwoLockReorganizer(IncrementalReorganizer):
             if self.state_store is not None and self.cfg.checkpoint_every:
                 if len(self._migrated) % self.cfg.checkpoint_every == 0:
                     self._checkpoint_state()
+            if self.pacer is not None:
+                yield from self.pacer()
 
     def _migrate_one(self, oid: Oid,
                      resumed_new_oid: Optional[Oid] = None
@@ -203,7 +205,7 @@ class TwoLockReorganizer(IncrementalReorganizer):
             # new copy (committed in its own transaction) is reused — the
             # parents already patched legitimately point at it.
             self.stats.deadlock_retries += 1
-            yield from anchor.abort()
+            yield from anchor.abort(reason="deadlock")
             retry_new = self.in_flight.pop(oid, None)
             if self.stats.deadlock_retries > self.cfg.max_deadlock_retries:
                 raise ReorganizationError(
@@ -263,7 +265,7 @@ class TwoLockReorganizer(IncrementalReorganizer):
                     self._note_lock_footprint(anchor, patch_txn)
                 yield from patch_txn.commit()
             except LockTimeoutError:
-                yield from patch_txn.abort()
+                yield from patch_txn.abort(reason="deadlock")
                 raise
 
     def _patch_slots(self, txn, holder: Oid, old_child: Oid,

@@ -92,7 +92,8 @@ class StorageEngine:
                               io_retry_backoff_ms=self.config.io_retry_backoff_ms)
         self.locks = LockManager(self.sim,
                                  timeout_ms=self.config.lock_timeout_ms,
-                                 track_history=self.config.track_lock_history)
+                                 track_history=self.config.track_lock_history,
+                                 detection=self.config.deadlock_detection)
         self.latches = LatchManager(self.sim)
         self._erts: Dict[int, ExternalReferenceTable] = {}
         self.analyzer = LogAnalyzer(
@@ -254,7 +255,8 @@ class StorageEngine:
         engine.injector = None
         engine.locks = LockManager(
             engine.sim, timeout_ms=image.config.lock_timeout_ms,
-            track_history=image.config.track_lock_history)
+            track_history=image.config.track_lock_history,
+            detection=image.config.deadlock_detection)
         engine.latches = LatchManager(engine.sim)
         engine.snapshots = image.snapshots
 

@@ -152,7 +152,19 @@ class LockFootprintMonitor:
         self.violations: List[tuple] = []
 
     def install(self) -> "LockFootprintMonitor":
-        self.engine.locks.observer = self._on_event
+        # Chain rather than clobber: with N reorganizers live there are N
+        # monitors, each filtering on its own partition's transactions.
+        previous = self.engine.locks.observer
+        if previous is None:
+            self.engine.locks.observer = self._on_event
+        else:
+            mine = self._on_event
+
+            def chained(event, tid, key, mode):
+                previous(event, tid, key, mode)
+                mine(event, tid, key, mode)
+
+            self.engine.locks.observer = chained
         return self
 
     def _reorg_tids(self) -> List[int]:
@@ -297,7 +309,13 @@ def check_recovery_idempotence(engine) -> List[str]:
 
 @dataclass
 class OracleContext:
-    """Everything the suite needs about one finished run."""
+    """Everything the suite needs about one finished run.
+
+    ``reorg`` and ``monitor`` accept a single object or a list — with a
+    reorganizer *fleet* live, the transparency oracle translates through
+    the union of every worker's migration mapping, and the footprint
+    oracle pools every monitor's violations.
+    """
 
     engine: object
     reorg: object
@@ -311,6 +329,27 @@ class OracleContext:
     state_valid: bool = True
 
 
+def _as_list(value) -> List:
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def merged_mapping(reorgs) -> Dict:
+    """The union of every reorganizer's old→new migration mapping.
+
+    Partitions are disjoint, so the per-worker mappings never disagree
+    on a key; a crashed worker's partial mapping and its successor's
+    roll-forward mapping overlap only on identical pairs.
+    """
+    mapping: Dict = {}
+    for reorg in _as_list(reorgs):
+        mapping.update(getattr(reorg.stats, "mapping", {}) or {})
+    return mapping
+
+
 def run_oracles(ctx: OracleContext) -> List[OracleVerdict]:
     now = ctx.engine.sim.now
     verdicts: List[OracleVerdict] = []
@@ -321,14 +360,17 @@ def run_oracles(ctx: OracleContext) -> List[OracleVerdict]:
                                       report.problems()))
 
     if ctx.state_valid:
-        mapping = dict(getattr(ctx.reorg.stats, "mapping", {}) or {})
+        mapping = merged_mapping(ctx.reorg)
         problems = check_transparency(ctx.engine, ctx.initial_images,
                                       ctx.start_lsn, mapping)
         verdicts.append(OracleVerdict("transparency", not problems, now,
                                       problems))
 
-    if ctx.monitor is not None:
-        violations = ctx.monitor.violations
+    monitors = _as_list(ctx.monitor)
+    if monitors:
+        violations = sorted(
+            (v for monitor in monitors for v in monitor.violations),
+            key=lambda v: v[0])
         details = [f"{count} distinct reorg locks at {at:.1f}ms: {keys}"
                    for at, count, keys in violations[:3]]
         at = violations[0][0] if violations else now

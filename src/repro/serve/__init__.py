@@ -1,0 +1,29 @@
+"""The overload-robust serving layer and crash-tolerant reorg fleet.
+
+Open-loop sessions (arrivals, admission control, deadlines, retry
+budgets) over the storage engine, plus N concurrent reorganizer workers
+under sim-time leases with WAL-carried takeover, governed by a serving
+SLO.  See SERVING.md for the protocol.
+"""
+
+from .admission import AdmissionQueue, Request
+from .arrivals import ZipfPartitions, interarrival_ms, rate_at
+from .fleet import ReorgFleet
+from .frontend import ServingLayer
+from .governor import ReorgGovernor
+from .leases import Lease, LeaseTable
+from .metrics import ServeMetrics
+
+__all__ = [
+    "AdmissionQueue",
+    "Lease",
+    "LeaseTable",
+    "ReorgFleet",
+    "ReorgGovernor",
+    "Request",
+    "ServeMetrics",
+    "ServingLayer",
+    "ZipfPartitions",
+    "interarrival_ms",
+    "rate_at",
+]

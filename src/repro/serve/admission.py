@@ -1,0 +1,90 @@
+"""Bounded admission queue with load shedding and staleness drops.
+
+The queue is the overload valve between the open-loop arrival process
+and the fixed server pool:
+
+* an arrival finding ``queue_depth`` requests already waiting is shed
+  on the spot (``shed_queue_full``) — bounded queues are what keep an
+  overloaded system's latency bounded;
+* a server popping a request whose ``queue_deadline_ms`` has already
+  passed drops it unexecuted (``shed_stale``) — running it would burn
+  capacity producing an answer nobody is waiting for.
+
+Producer/consumer hand-off uses a broadcast gate: ``put`` fires the
+current gate event, every blocked server wakes, the winners pop and the
+rest re-arm on a fresh gate.  With one-shot events this is race-free —
+a waiter registering after the gate fired resumes immediately — at the
+cost of a thundering herd that is harmless at these pool sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Generator, Optional
+
+from ..sim import Event, Simulator, Wait
+
+
+@dataclass
+class Request:
+    """One logical request flowing through the serving layer."""
+
+    request_id: int
+    partition_id: int
+    arrived_ms: float
+    #: Last instant a server may *start* this request.
+    queue_deadline_ms: float
+    #: Last instant the response is still useful (end-to-end SLO).
+    response_deadline_ms: float
+    #: Deterministic walk seed — a retry re-runs the same work.
+    txn_seed: int
+    started_ms: Optional[float] = None
+    retries: int = 0
+    outcome: str = field(default="pending")
+
+
+class AdmissionQueue:
+    """FIFO queue bounded at ``depth``; shedding, never blocking, on put."""
+
+    def __init__(self, sim: Simulator, depth: int):
+        self.sim = sim
+        self.depth = depth
+        self._queue: Deque[Request] = deque()
+        self._gate = Event(sim, name="admission-gate")
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, request: Request) -> bool:
+        """Enqueue, or refuse (returns False) when the queue is full."""
+        if len(self._queue) >= self.depth:
+            request.outcome = "shed-queue-full"
+            return False
+        self._queue.append(request)
+        self._wake()
+        return True
+
+    def close(self) -> None:
+        """No more arrivals; blocked servers drain the queue and exit."""
+        self._closed = True
+        self._wake()
+
+    def _wake(self) -> None:
+        gate, self._gate = self._gate, Event(self.sim,
+                                             name="admission-gate")
+        gate.succeed()
+
+    def get(self) -> Generator[object, object, Optional[Request]]:
+        """Pop the next request; ``None`` once closed and drained."""
+        while True:
+            if self._queue:
+                return self._queue.popleft()
+            if self._closed:
+                return None
+            yield Wait(self._gate)

@@ -1,0 +1,88 @@
+"""Open-loop arrival processes and partition skew for the serving layer.
+
+The paper's driver is closed-loop: MPL threads submit back-to-back, so
+offered load can never exceed capacity and overload is unobservable.
+The serving layer decouples arrivals from service — requests arrive on
+their own clock whether or not a server is free — which is what makes
+admission control, shedding and deadline misses meaningful:
+
+* ``poisson``     — stationary Poisson arrivals at the base rate;
+* ``flash-crowd`` — Poisson whose rate is multiplied by
+  ``flash_multiplier`` inside ``[flash_start_ms, flash_start_ms +
+  flash_duration_ms)`` — the overload burst the reorg governor exists
+  to survive;
+* ``diurnal``     — Poisson with a sinusoidal rate swing of amplitude
+  ``diurnal_amplitude`` around the base (a compressed day/night cycle).
+
+Non-stationary rates are sampled by drawing each gap at the rate in
+force at the draw instant — exact for piecewise-constant flash crowds
+up to one straddling gap, and a standard approximation for the smooth
+diurnal swing.  Everything is driven by one seeded RNG, so a given
+``ServeConfig`` yields one arrival sequence, always.
+
+Partition skew is Zipf: the k-th partition (by id) receives weight
+``1 / k**zipf_s``.  ``zipf_s = 0`` is uniform; larger exponents focus
+the crowd onto partition 1 — the partition the reorganizer is most
+likely working on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List
+
+from ..config import ServeConfig
+
+ARRIVAL_KINDS = ("poisson", "flash-crowd", "diurnal")
+
+
+def rate_at(cfg: ServeConfig, at_ms: float) -> float:
+    """Instantaneous arrival rate (requests per simulated second)."""
+    base = cfg.arrival_rate_tps
+    if cfg.arrival == "poisson":
+        return base
+    if cfg.arrival == "flash-crowd":
+        in_flash = (cfg.flash_start_ms <= at_ms
+                    < cfg.flash_start_ms + cfg.flash_duration_ms)
+        return base * cfg.flash_multiplier if in_flash else base
+    if cfg.arrival == "diurnal":
+        phase = 2.0 * math.pi * at_ms / cfg.diurnal_period_ms
+        return base * (1.0 + cfg.diurnal_amplitude * math.sin(phase))
+    raise ValueError(f"unknown arrival process {cfg.arrival!r}; "
+                     f"choose from {ARRIVAL_KINDS}")
+
+
+def interarrival_ms(cfg: ServeConfig, rng: random.Random,
+                    at_ms: float) -> float:
+    """One exponential gap at the rate in force at ``at_ms``."""
+    rate = max(rate_at(cfg, at_ms), 1e-9)
+    return rng.expovariate(rate) * 1000.0
+
+
+class ZipfPartitions:
+    """Zipf-skewed choice over the data partitions ``1..n``."""
+
+    def __init__(self, num_partitions: int, s: float):
+        self.num_partitions = num_partitions
+        self.s = s
+        weights = [1.0 / (k ** s) if s > 0 else 1.0
+                   for k in range(1, num_partitions + 1)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float shortfall
+        self._cumulative = cumulative
+
+    def choose(self, rng: random.Random) -> int:
+        """A partition id in ``1..num_partitions`` (1 is the hottest)."""
+        return 1 + bisect.bisect_left(self._cumulative, rng.random())
+
+    def share(self, partition_id: int) -> float:
+        """The long-run fraction of arrivals hitting ``partition_id``."""
+        lo = self._cumulative[partition_id - 2] if partition_id > 1 else 0.0
+        return self._cumulative[partition_id - 1] - lo

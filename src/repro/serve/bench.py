@@ -1,0 +1,217 @@
+"""``repro bench scale``: the open-loop overload sweep.
+
+Sweeps the server-pool width (the open-loop analogue of the paper's MPL
+sweep) under a flash-crowd arrival mix and measures, per point, three
+arms on identical workloads at one pinned seed:
+
+* ``nr``        — serving only: the overload baseline;
+* ``fleet``     — serving plus an ungoverned 2-worker reorganizer
+  fleet: what on-line reorganization costs when it ignores the SLOs;
+* ``fleet-gov`` — the same fleet under the reorg governor, which paces
+  or pauses migrations when shed/deadline-miss rates breach the SLOs.
+
+The reported curves are throughput, p99 response time, shed rate and
+*reorganizer interference* — each fleet arm's p99 degradation over the
+``nr`` arm at the same point.  The governed arm earning strictly lower
+p99 degradation than the ungoverned arm under the flash crowd is this
+figure's acceptance gate; all summaries land in ``BENCH_6.json`` under
+the ``repro-bench/1`` schema and drift fails ``--compare``.
+
+The waits-for deadlock detector is on in every arm (it is the serving
+layer's native configuration); the committed paper figures keep the
+paper's timeout scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..bench.harness import BenchPoint, format_series
+from ..cluster.advisor import ClusteringAdvisor
+from ..cluster.tracing import AffinityGraph
+from ..config import (FleetConfig, GovernorConfig, ServeConfig,
+                      SystemConfig, WorkloadConfig)
+from ..database import Database
+from .fleet import ReorgFleet
+from .frontend import ServingLayer
+from .governor import ReorgGovernor
+
+#: The experiment's arms, in reporting order.
+SCALE_ARMS = ("nr", "fleet", "fleet-gov")
+
+
+class ServeScale:
+    """Per-scale sweep parameters (keyed by the bench scale names)."""
+
+    __slots__ = ("server_points", "num_partitions",
+                 "objects_per_partition", "arrival_rate_tps",
+                 "flash_multiplier", "flash_start_ms", "flash_duration_ms",
+                 "duration_ms", "fleet_workers", "fleet_partitions")
+
+    def __init__(self, server_points: Sequence[int], num_partitions: int,
+                 objects_per_partition: int, arrival_rate_tps: float,
+                 flash_multiplier: float, flash_start_ms: float,
+                 flash_duration_ms: float, duration_ms: float,
+                 fleet_workers: int, fleet_partitions: int):
+        self.server_points = server_points
+        self.num_partitions = num_partitions
+        self.objects_per_partition = objects_per_partition
+        self.arrival_rate_tps = arrival_rate_tps
+        self.flash_multiplier = flash_multiplier
+        self.flash_start_ms = flash_start_ms
+        self.flash_duration_ms = flash_duration_ms
+        self.duration_ms = duration_ms
+        self.fleet_workers = fleet_workers
+        self.fleet_partitions = fleet_partitions
+
+
+#: The arrival rate is fixed per scale; sweeping the pool width then
+#: shows the two overload regimes — queueing (pool too small for even
+#: the base rate) and contention (pool wide enough that the flash crowd
+#: all lands on the lock tables at once).  The single simulated CPU
+#: saturates around 40 tps, so a flash multiplier of 6 is genuine
+#: overload at every scale.
+SERVE_SCALES: Dict[str, ServeScale] = {
+    "quick": ServeScale(server_points=(10, 30), num_partitions=2,
+                        objects_per_partition=340,
+                        arrival_rate_tps=30.0, flash_multiplier=6.0,
+                        flash_start_ms=4_000.0, flash_duration_ms=5_000.0,
+                        duration_ms=12_000.0,
+                        fleet_workers=2, fleet_partitions=2),
+    "standard": ServeScale(server_points=(10, 50, 200), num_partitions=3,
+                           objects_per_partition=1020,
+                           arrival_rate_tps=35.0, flash_multiplier=6.0,
+                           flash_start_ms=8_000.0,
+                           flash_duration_ms=8_000.0,
+                           duration_ms=24_000.0,
+                           fleet_workers=2, fleet_partitions=2),
+    "paper": ServeScale(server_points=(10, 30, 100, 300, 1000),
+                        num_partitions=4, objects_per_partition=2040,
+                        arrival_rate_tps=40.0, flash_multiplier=6.0,
+                        flash_start_ms=10_000.0,
+                        flash_duration_ms=10_000.0,
+                        duration_ms=30_000.0,
+                        fleet_workers=2, fleet_partitions=3),
+}
+
+
+def scale_serve_config(scale: ServeScale, servers: int,
+                       seed: int = 42) -> ServeConfig:
+    return ServeConfig(arrival="flash-crowd",
+                       arrival_rate_tps=scale.arrival_rate_tps,
+                       flash_multiplier=scale.flash_multiplier,
+                       flash_start_ms=scale.flash_start_ms,
+                       flash_duration_ms=scale.flash_duration_ms,
+                       duration_ms=scale.duration_ms,
+                       servers=servers, seed=seed)
+
+
+def run_scale_point(arm: str, scale: ServeScale, servers: int,
+                    seed: int = 42) -> BenchPoint:
+    """One arm at one pool width, on a freshly built database."""
+    if arm not in SCALE_ARMS:
+        raise ValueError(f"unknown arm {arm!r}; choose from {SCALE_ARMS}")
+    workload = WorkloadConfig(num_partitions=scale.num_partitions,
+                              objects_per_partition=
+                              scale.objects_per_partition,
+                              mpl=servers, seed=seed)
+    system = SystemConfig(deadlock_detection="waits-for")
+    db, layout = Database.with_workload(workload, system=system)
+    engine = db.engine
+    layer = ServingLayer(engine, layout,
+                         scale_serve_config(scale, servers, seed=seed),
+                         workload)
+    fleet = governor = None
+    if arm != "nr":
+        # A cold advisor still yields deterministic claims (rank order
+        # degenerates to fragmentation + partition id).
+        advisor = ClusteringAdvisor(AffinityGraph())
+        claims = advisor.claims(
+            engine, scale.fleet_partitions,
+            candidates=[pid for pid in engine.store.partition_ids()
+                        if pid != 0])
+        if arm == "fleet-gov":
+            governor = ReorgGovernor(engine.sim, GovernorConfig())
+        fleet = ReorgFleet(engine, claims,
+                           FleetConfig(workers=scale.fleet_workers),
+                           governor=governor, layout=layout)
+    metrics = layer.run(fleet=fleet, governor=governor)
+    metrics.algorithm = arm
+    report = db.verify_integrity()
+    if not report.ok:
+        raise AssertionError(
+            f"integrity violated after scale arm {arm!r}: "
+            f"{report.problems()[:3]}")
+    overrides: Dict[str, object] = {"servers": servers}
+    if fleet is not None:
+        overrides["partitions_reorganized"] = len(fleet.completed)
+        overrides["lease_takeovers"] = fleet.leases.takeovers
+    if governor is not None:
+        overrides["governor_paced"] = governor.paced
+        overrides["governor_paused_ms"] = round(governor.paused_ms, 1)
+        overrides["governor_breaches"] = governor.breaches
+    return BenchPoint(algorithm=arm, metrics=metrics, overrides=overrides,
+                      counters=engine.sim.counters())
+
+
+def run_scale_experiment(scale_name: str, seed: int = 42, progress=None,
+                         scale: ServeScale = None
+                         ) -> Dict[int, Dict[str, BenchPoint]]:
+    """The full sweep: every arm at every pool width."""
+    scale = scale or SERVE_SCALES[scale_name]
+    rows: Dict[int, Dict[str, BenchPoint]] = {}
+    for servers in scale.server_points:
+        rows[servers] = {}
+        for arm in SCALE_ARMS:
+            point = run_scale_point(arm, scale, servers, seed=seed)
+            rows[servers][arm] = point
+            if progress is not None:
+                m = point.metrics
+                progress(f"servers={servers} {arm}: "
+                         f"{m.throughput_tps:.1f} tps, "
+                         f"p99 {m.p99_response_ms:.0f} ms, "
+                         f"shed {m.shed_rate:.1%}")
+    return rows
+
+
+def interference_pct(rows: Dict[int, Dict[str, BenchPoint]], servers: int,
+                     arm: str) -> float:
+    """The arm's p99 degradation over ``nr`` at one point, percent."""
+    base = rows[servers]["nr"].metrics.p99_response_ms
+    p99 = rows[servers][arm].metrics.p99_response_ms
+    if base <= 0:
+        return 0.0
+    return (p99 - base) / base * 100.0
+
+
+def format_scale(rows: Dict[int, Dict[str, BenchPoint]]) -> str:
+    """The figure's data tables plus the interference verdict."""
+    xs = sorted(rows)
+    parts = [format_series(
+        "scale sweep - Throughput (tps)", "servers", xs,
+        {arm.upper(): [rows[x][arm].metrics.throughput_tps for x in xs]
+         for arm in SCALE_ARMS})]
+    parts.append(format_series(
+        "scale sweep - p99 Response Time (ms)", "servers", xs,
+        {arm.upper(): [rows[x][arm].metrics.p99_response_ms for x in xs]
+         for arm in SCALE_ARMS},
+        y_format="{:9.0f}"))
+    parts.append(format_series(
+        "scale sweep - Shed Rate", "servers", xs,
+        {arm.upper(): [rows[x][arm].metrics.shed_rate for x in xs]
+         for arm in SCALE_ARMS},
+        y_format="{:9.4f}"))
+    parts.append(format_series(
+        "scale sweep - Reorganizer Interference (p99 degradation vs NR, %)",
+        "servers", xs,
+        {arm.upper(): [interference_pct(rows, x, arm) for x in xs]
+         for arm in ("fleet", "fleet-gov")},
+        y_format="{:9.1f}"))
+    governed = sum(interference_pct(rows, x, "fleet-gov") for x in xs)
+    ungoverned = sum(interference_pct(rows, x, "fleet") for x in xs)
+    verdict = ("governor wins" if governed < ungoverned
+               else "GOVERNOR DOES NOT WIN")
+    parts.append(f"{verdict}: governed p99 interference "
+                 f"{governed / len(xs):.1f}% vs ungoverned "
+                 f"{ungoverned / len(xs):.1f}% (mean over sweep)")
+    return "\n\n".join(parts)

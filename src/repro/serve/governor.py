@@ -1,0 +1,115 @@
+"""The reorg governor: SLO-driven pacing of the reorganizer fleet.
+
+On-line reorganization is supposed to be invisible; under overload it
+is not — reorganizer lock footprints and CPU steal time turn a flash
+crowd's p99 spike into sheds and deadline misses.  The governor closes
+the loop: a tick process samples the serving layer's shed and
+deadline-miss rates over a sliding window, and when either breaches its
+SLO the fleet is *paced* (a fixed delay injected between migrations via
+the reorganizers' pacer hook); after ``pause_after_breaches``
+consecutive breaching windows it is *paused* outright until the rates
+recover.  Reorganization work is the one load on the system that can be
+deferred without breaking anything — §4's algorithms tolerate arbitrary
+gaps between migrations — so it is the right pressure-relief valve.
+
+The governor never cancels work: a paused reorganizer holds no object
+locks between migrations (IRA's unit of interference is a single short
+system transaction), so pausing sheds interference immediately while
+the WAL-carried progress state keeps completed work durable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional, Tuple
+
+from ..config import GovernorConfig
+from ..sim import Delay, Simulator
+from .metrics import ServeMetrics
+
+
+class ReorgGovernor:
+    """Paces/pauses reorganizers when serving SLOs are breached."""
+
+    def __init__(self, sim: Simulator, config: GovernorConfig,
+                 metrics: Optional[ServeMetrics] = None):
+        self.sim = sim
+        #: Bound by :meth:`ServingLayer.run` when not supplied up front.
+        self.metrics = metrics
+        self.config = config
+        self.state = "run"  # "run" | "pace" | "pause"
+        self._stopped = False
+        self._breach_streak = 0
+        # (time, arrivals, shed, admitted, deadline_misses) samples.
+        self._samples: Deque[Tuple[float, int, int, int, int]] = deque()
+        #: Migration gaps in which a pace delay was injected.
+        self.paced = 0
+        #: Total simulated ms reorganizers sat in pause loops.
+        self.paused_ms = 0.0
+        #: Breaching windows observed.
+        self.breaches = 0
+        self.state_changes = 0
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _sample(self) -> None:
+        m = self.metrics
+        now = self.sim.now
+        self._samples.append((now, m.arrivals, m.shed, m.admitted,
+                              m.deadline_misses))
+        horizon = now - self.config.window_ms
+        while len(self._samples) > 2 and self._samples[1][0] <= horizon:
+            self._samples.popleft()
+
+    def _window_rates(self) -> Tuple[float, float]:
+        """``(shed_rate, deadline_miss_rate)`` over the sliding window."""
+        if len(self._samples) < 2:
+            return 0.0, 0.0
+        _, a0, s0, ad0, d0 = self._samples[0]
+        _, a1, s1, ad1, d1 = self._samples[-1]
+        arrivals = a1 - a0
+        admitted = ad1 - ad0
+        shed_rate = (s1 - s0) / arrivals if arrivals else 0.0
+        miss_rate = (d1 - d0) / admitted if admitted else 0.0
+        return shed_rate, miss_rate
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.state_changes += 1
+
+    # -- processes ---------------------------------------------------------------
+
+    def tick_process(self) -> Generator[Any, Any, None]:
+        """Spawned by the serving layer; stopped when the window closes."""
+        cfg = self.config
+        while not self._stopped:
+            yield Delay(cfg.tick_ms)
+            if self._stopped:
+                break
+            self._sample()
+            shed_rate, miss_rate = self._window_rates()
+            breach = (shed_rate > cfg.shed_slo
+                      or miss_rate > cfg.deadline_miss_slo)
+            if breach:
+                self.breaches += 1
+                self._breach_streak += 1
+                self._transition("pause" if self._breach_streak
+                                 >= cfg.pause_after_breaches else "pace")
+            else:
+                self._breach_streak = 0
+                self._transition("run")
+
+    def stop(self) -> None:
+        """Release any paused reorganizers and end the tick process."""
+        self._stopped = True
+        self._transition("run")
+
+    def gate(self) -> Generator[Any, Any, None]:
+        """The pacer hook: reorganizers drive this between migrations."""
+        while self.state == "pause" and not self._stopped:
+            self.paused_ms += self.config.tick_ms
+            yield Delay(self.config.tick_ms)
+        if self.state == "pace":
+            self.paced += 1
+            yield Delay(self.config.pace_delay_ms)

@@ -1,0 +1,105 @@
+"""Sim-time partition leases for the reorganizer fleet.
+
+A worker claims a partition by acquiring a lease; the lease is valid
+while ``now < expires_ms`` and is renewed by the worker's heartbeat
+process every ``heartbeat_ms``.  A crashed worker stops heartbeating
+(the chaos kill takes worker and heartbeat together — they share a
+name prefix), the lease runs out, and a surviving worker may take the
+partition over — resuming from the WAL-carried ``REORG_PROGRESS``
+state rather than restarting.
+
+Mutual exclusion is what the lease protocol guarantees: ``acquire``
+refuses while an unexpired lease is held by another worker, so no
+partition is ever reorganized by two workers concurrently.  Each
+successful acquire bumps the partition's generation counter; a
+takeover is an acquire over an expired lease of an older generation.
+
+Everything is sim-time; there are no wall clocks and no background
+threads — expiry is evaluated lazily at acquire/renew time, which is
+sufficient because only acquire attempts care whether a lease is dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim import Simulator
+
+
+@dataclass
+class Lease:
+    """One partition's current (or last) lease."""
+
+    partition_id: int
+    owner: str
+    expires_ms: float
+    generation: int
+
+    def live(self, now: float) -> bool:
+        return now < self.expires_ms
+
+
+class LeaseTable:
+    """Partition-id → lease map with expiry-based takeover."""
+
+    def __init__(self, sim: Simulator, lease_ms: float):
+        if lease_ms <= 0:
+            raise ValueError(f"lease_ms must be positive: {lease_ms!r}")
+        self.sim = sim
+        self.lease_ms = lease_ms
+        self._leases: Dict[int, Lease] = {}
+        #: Successful acquires over an expired lease of another owner.
+        self.takeovers: int = 0
+        #: Acquire attempts refused because a live lease was held.
+        self.refusals: int = 0
+
+    def holder(self, partition_id: int) -> Optional[str]:
+        """The current owner, or ``None`` if unleased/expired."""
+        lease = self._leases.get(partition_id)
+        if lease is not None and lease.live(self.sim.now):
+            return lease.owner
+        return None
+
+    def acquire(self, partition_id: int, owner: str) -> Optional[Lease]:
+        """Claim the partition; ``None`` when a live lease blocks us.
+
+        Re-acquiring one's own live lease renews it (idempotent claim).
+        """
+        now = self.sim.now
+        prior = self._leases.get(partition_id)
+        if prior is not None and prior.live(now) and prior.owner != owner:
+            self.refusals += 1
+            return None
+        if prior is not None and prior.owner != owner:
+            self.takeovers += 1
+        lease = Lease(partition_id=partition_id, owner=owner,
+                      expires_ms=now + self.lease_ms,
+                      generation=(prior.generation + 1
+                                  if prior is not None and
+                                  prior.owner != owner
+                                  else (prior.generation if prior
+                                        else 1)))
+        self._leases[partition_id] = lease
+        return lease
+
+    def renew(self, partition_id: int, owner: str) -> bool:
+        """Heartbeat: extend the lease iff still ours and still live.
+
+        A worker whose lease lapsed (e.g. paused past expiry) must not
+        silently resurrect it — another worker may hold the partition.
+        """
+        lease = self._leases.get(partition_id)
+        now = self.sim.now
+        if lease is None or lease.owner != owner or not lease.live(now):
+            return False
+        lease.expires_ms = now + self.lease_ms
+        return True
+
+    def release(self, partition_id: int, owner: str) -> bool:
+        """Drop the lease on normal completion (never from kill paths)."""
+        lease = self._leases.get(partition_id)
+        if lease is None or lease.owner != owner:
+            return False
+        del self._leases[partition_id]
+        return True

@@ -71,15 +71,36 @@ class Resource:
 
     def wait_gate(self) -> Event:
         """Enqueue the caller and return the gate ``release`` will fire;
-        the slot is already granted by the time the gate fires."""
+        the slot is already granted by the time the gate fires.
+
+        A caller killed at its ``yield Wait(gate)`` MUST call
+        :meth:`cancel_wait` (the kernel throws into the generator, so an
+        ``except BaseException`` around the wait sees it) — otherwise
+        the queue entry, or the already-granted slot, leaks and the
+        resource wedges for every later user.
+        """
         gate = Event(self.sim, self._grant_name)
         self._waiters.append(gate)
         return gate
 
+    def cancel_wait(self, gate: Event) -> None:
+        """Withdraw a :meth:`wait_gate` registration after its waiter
+        died.  If the gate already fired the slot was granted to the
+        corpse — release it onward; otherwise drop the queue entry."""
+        if gate.fired:
+            self.release()
+        else:
+            self._waiters.remove(gate)
+
     def acquire(self) -> Generator[Any, Any, None]:
         """Blocking acquire (generator; compose with ``yield from``)."""
         if not self.try_use():
-            yield Wait(self.wait_gate())
+            gate = self.wait_gate()
+            try:
+                yield Wait(gate)
+            except BaseException:
+                self.cancel_wait(gate)
+                raise
         # _release granted us the slot before firing the gate.
 
     def release(self) -> None:
@@ -101,7 +122,12 @@ class Resource:
         # CPU charge, so the generator ``yield from self.acquire()``
         # would create is measurable in the benchmarks.
         if not self.try_use():
-            yield Wait(self.wait_gate())
+            gate = self.wait_gate()
+            try:
+                yield Wait(gate)
+            except BaseException:
+                self.cancel_wait(gate)
+                raise
         try:
             yield Delay(duration)
         finally:

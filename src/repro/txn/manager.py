@@ -34,6 +34,10 @@ class TransactionManager:
         self.started = 0
         self.committed = 0
         self.aborted = 0
+        #: Abort counts keyed by :attr:`Transaction.abort_reason` —
+        #: distinguishes deadlock-driven aborts from everything else so
+        #: retry-budget accounting never folds into generic aborts.
+        self.abort_reasons: Dict[str, int] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -79,6 +83,8 @@ class TransactionManager:
             self.committed += 1
         else:
             self.aborted += 1
+            reason = txn.abort_reason or "user"
+            self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
         history = getattr(self.engine, "history", None)
         if history is not None:
             history.record_end(txn)

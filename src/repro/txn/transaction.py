@@ -74,6 +74,10 @@ class Transaction:
         #: Objects this transaction created (allowed to reference freely).
         self.created: Set[Oid] = set()
         self.ops = 0
+        #: Why the transaction aborted (``None`` while active/committed):
+        #: ``"deadlock"`` for timeout/waits-for victims, ``"user"`` for
+        #: everything else.  The manager aggregates these per reason.
+        self.abort_reason: Optional[str] = None
 
     # -- locking -------------------------------------------------------------
 
@@ -114,7 +118,12 @@ class Transaction:
         if cost > 0:
             cpu = engine.cpu
             if not cpu.try_use():
-                yield Wait(cpu.wait_gate())
+                gate = cpu.wait_gate()
+                try:
+                    yield Wait(gate)
+                except BaseException:
+                    cpu.cancel_wait(gate)
+                    raise
             try:
                 yield Delay(cost)
             finally:
@@ -144,7 +153,12 @@ class Transaction:
         if cost > 0:
             cpu = engine.cpu
             if not cpu.try_use():
-                yield Wait(cpu.wait_gate())
+                gate = cpu.wait_gate()
+                try:
+                    yield Wait(gate)
+                except BaseException:
+                    cpu.cancel_wait(gate)
+                    raise
             try:
                 yield Delay(cost)
             finally:
@@ -226,7 +240,12 @@ class Transaction:
         if cost > 0:
             cpu = engine.cpu
             if not cpu.try_use():
-                yield Wait(cpu.wait_gate())
+                gate = cpu.wait_gate()
+                try:
+                    yield Wait(gate)
+                except BaseException:
+                    cpu.cancel_wait(gate)
+                    raise
             try:
                 yield Delay(cost)
             finally:
@@ -314,9 +333,15 @@ class Transaction:
         if self._tracer is not None:
             self._tracer.on_commit(self.tid)
 
-    def abort(self) -> Generator[Any, Any, None]:
-        """Roll back every change via the undo chain, writing CLRs."""
+    def abort(self, reason: str = "user") -> Generator[Any, Any, None]:
+        """Roll back every change via the undo chain, writing CLRs.
+
+        ``reason`` tags the abort for accounting (``"deadlock"`` when a
+        lock timeout or waits-for victim triggered it) — it does not
+        change rollback behaviour.
+        """
         self._require_active()
+        self.abort_reason = reason
         lsn = self.last_lsn
         while lsn:
             record = self.engine.log.read(lsn)

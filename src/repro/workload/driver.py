@@ -96,6 +96,9 @@ class WorkloadDriver:
         metrics.lock_waits = self.engine.locks.stats.waits
         metrics.lock_timeouts = self.engine.locks.stats.timeouts
         metrics.forced_lock_timeouts = self.engine.locks.stats.forced_timeouts
+        metrics.deadlock_victims = self.engine.locks.stats.deadlock_victims
+        metrics.deadlock_aborts = self.engine.txns.abort_reasons.get(
+            "deadlock", 0)
         metrics.io_faults = self.engine.log.io_faults
         metrics.io_retries = self.engine.log.io_retries
         if buffer is not None:

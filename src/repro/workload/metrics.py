@@ -40,6 +40,19 @@ class ExperimentMetrics:
     window_ms: float = 0.0
     records: List[TransactionRecord] = field(default_factory=list)
     aborts: int = 0
+    #: Aborts caused by deadlock handling (lock timeouts + waits-for
+    #: victims) — a subset of ``aborts``.
+    deadlock_aborts: int = 0
+    #: Requests the waits-for detector victimized (0 under the paper's
+    #: pure-timeout scheme).
+    deadlock_victims: int = 0
+    #: Logical transactions abandoned because their per-request retry
+    #: budget ran out (serving layer; distinct from generic aborts).
+    retry_budget_exhausted: int = 0
+    #: Arrivals refused by admission control (serving layer).
+    shed: int = 0
+    #: Admitted requests that blew their end-to-end deadline.
+    deadline_misses: int = 0
     reorg_duration_ms: Optional[float] = None
     reorg_stats: Optional[object] = None
     cpu_utilization: float = 0.0
@@ -169,6 +182,14 @@ class ExperimentMetrics:
             pct / 100.0 * (len(times) - 1)))))
         return times[rank]
 
+    @property
+    def p99_response_ms(self) -> float:
+        return self.percentile_response_ms(99.0)
+
+    @property
+    def p999_response_ms(self) -> float:
+        return self.percentile_response_ms(99.9)
+
     def top_responses(self, n: int = 10) -> List[float]:
         return sorted(self._cached_times(), reverse=True)[:n]
 
@@ -204,6 +225,11 @@ class ExperimentMetrics:
             "throughput_tps": round(self.throughput_tps, 2),
             "completed": self.completed,
             "aborts": self.aborts,
+            "deadlock_aborts": self.deadlock_aborts,
+            "deadlock_victims": self.deadlock_victims,
+            "retry_budget_exhausted": self.retry_budget_exhausted,
+            "shed": self.shed,
+            "deadline_misses": self.deadline_misses,
             "retries": self.total_retries,
             "reorg_deadlock_retries": self.reorg_deadlock_retries,
             "reorg_backoff_ms": round(self.reorg_backoff_ms, 1),
@@ -211,6 +237,8 @@ class ExperimentMetrics:
             "forced_lock_timeouts": self.forced_lock_timeouts,
             "io_faults": self.io_faults,
             "avg_response_ms": round(self.avg_response_ms, 1),
+            "p99_response_ms": round(self.p99_response_ms, 1),
+            "p999_response_ms": round(self.p999_response_ms, 1),
             "max_response_ms": round(self.max_response_ms, 1),
             "std_response_ms": round(self.std_response_ms, 1),
             "window_ms": round(self.window_ms, 1),

@@ -81,5 +81,5 @@ def random_walk_transaction(engine, layout: GraphLayout,
         yield from txn.commit()
         return WalkOutcome(True, ops, updates, ref_updates)
     except LockTimeoutError:
-        yield from txn.abort()
+        yield from txn.abort(reason="deadlock")
         raise

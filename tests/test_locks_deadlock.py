@@ -1,0 +1,176 @@
+"""The waits-for deadlock detector: determinism and property tests.
+
+The detector's contract (``detection="waits-for"``): a cycle can only
+come into existence at the instant its final wait edge is added, so
+checking at block time catches every deadlock, and the requester that
+closed the cycle is always the victim — refused with
+:class:`DeadlockError` immediately instead of one lock timeout later.
+"""
+
+import random
+
+import pytest
+
+from repro.concurrency import (DeadlockError, LockManager, LockMode,
+                               LockTimeoutError)
+from repro.sim import Delay, Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    locks = LockManager(sim, timeout_ms=10_000.0, detection="waits-for")
+    return sim, locks
+
+
+def holder(sim, locks, tid, keys, then=None, log=None):
+    """A process that grabs ``keys`` in order, optionally runs ``then``."""
+    def proc():
+        try:
+            for at, key, mode in keys:
+                if at > sim.now:
+                    yield Delay(at - sim.now)
+                yield from locks.acquire(tid, key, mode)
+                if log is not None:
+                    log.append((tid, "granted", key, sim.now))
+        except DeadlockError as exc:
+            if log is not None:
+                log.append((tid, "deadlock", exc.cycle, sim.now))
+        except LockTimeoutError:
+            if log is not None:
+                log.append((tid, "timeout", None, sim.now))
+        finally:
+            if then is not None:
+                yield Delay(then)
+            locks.release_all(tid)
+    return sim.spawn(proc(), name=f"txn-{tid}")
+
+
+def test_two_cycle_victim_is_the_closer(setup):
+    sim, locks = setup
+    log = []
+    # t1: A then (later) B;  t2: B then (later) A — t2's request for A
+    # closes the cycle and must be the victim, at block time.
+    holder(sim, locks, 1, [(0, "A", LockMode.X), (10, "B", LockMode.X)],
+           then=5, log=log)
+    holder(sim, locks, 2, [(0, "B", LockMode.X), (20, "A", LockMode.X)],
+           then=5, log=log)
+    sim.run()
+    deadlocks = [e for e in log if e[1] == "deadlock"]
+    assert len(deadlocks) == 1
+    tid, _, cycle, at = deadlocks[0]
+    assert tid == 2           # the closer, deterministically
+    assert at == 20.0         # refused at block time, not timeout time
+    assert set(cycle) >= {1, 2}
+    assert locks.stats.cycles_detected == 1
+    assert locks.stats.deadlock_victims == 1
+    # The survivor finishes: its blocked request is granted once the
+    # victim's release_all runs.
+    assert (1, "granted", "B", 25.0) in log
+
+
+def test_three_cycle_detected(setup):
+    sim, locks = setup
+    log = []
+    holder(sim, locks, 1, [(0, "A", LockMode.X), (10, "B", LockMode.X)],
+           then=5, log=log)
+    holder(sim, locks, 2, [(0, "B", LockMode.X), (10, "C", LockMode.X)],
+           then=5, log=log)
+    holder(sim, locks, 3, [(0, "C", LockMode.X), (20, "A", LockMode.X)],
+           then=5, log=log)
+    sim.run()
+    deadlocks = [e for e in log if e[1] == "deadlock"]
+    assert len(deadlocks) == 1
+    tid, _, cycle, _ = deadlocks[0]
+    assert tid == 3
+    assert set(cycle) >= {1, 2, 3}
+
+
+def test_upgrade_deadlock_detected(setup):
+    sim, locks = setup
+    log = []
+    # Two S holders both upgrading to X: each waits on the other — the
+    # second upgrade request closes the cycle.
+    holder(sim, locks, 1, [(0, "K", LockMode.S), (10, "K", LockMode.X)],
+           then=5, log=log)
+    holder(sim, locks, 2, [(0, "K", LockMode.S), (20, "K", LockMode.X)],
+           then=5, log=log)
+    sim.run()
+    deadlocks = [e for e in log if e[1] == "deadlock"]
+    assert [e[0] for e in deadlocks] == [2]
+    # The survivor's upgrade goes through.
+    assert (1, "granted", "K", 25.0) in log
+
+
+def test_no_false_positives_on_straight_line_waits(setup):
+    sim, locks = setup
+    log = []
+    # A chain t3 -> t2 -> t1 has no cycle; everyone eventually runs.
+    holder(sim, locks, 1, [(0, "A", LockMode.X)], then=30, log=log)
+    holder(sim, locks, 2, [(5, "A", LockMode.X)], then=10, log=log)
+    holder(sim, locks, 3, [(10, "A", LockMode.X)], then=10, log=log)
+    sim.run()
+    assert locks.stats.cycles_detected == 0
+    assert [e[0] for e in log if e[1] == "granted"] == [1, 2, 3]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_property_no_wedge_under_infinite_timeout(seed):
+    """The detector alone keeps the system live.
+
+    Random transactions grab random keys in random orders with an
+    *infinite* lock timeout, so any undetected deadlock wedges the sim
+    forever (processes left in the queue at quiescence).  The invariant:
+    every process terminates, every reported cycle names the victim,
+    and a victim is reported iff a wait edge closed a cycle.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    locks = LockManager(sim, timeout_ms=float("inf"),
+                        detection="waits-for")
+    keys = ["k%d" % i for i in range(4)]
+    outcomes = {}
+
+    def txn(tid):
+        wants = rng.sample(keys, rng.randint(2, len(keys)))
+        try:
+            for key in wants:
+                yield Delay(rng.uniform(0.0, 5.0))
+                mode = LockMode.X if rng.random() < 0.7 else LockMode.S
+                yield from locks.acquire(tid, key, mode)
+            yield Delay(rng.uniform(0.0, 5.0))
+            outcomes[tid] = "done"
+        except DeadlockError as exc:
+            assert tid in exc.cycle
+            assert len(set(exc.cycle)) >= 2
+            outcomes[tid] = "victim"
+        finally:
+            locks.release_all(tid)
+
+    n = 6
+    for tid in range(1, n + 1):
+        sim.spawn(txn(tid), name=f"txn-{tid}")
+    sim.run()
+    # Liveness: nothing is left waiting (an undetected cycle would
+    # leave its members blocked forever on the infinite timeout).
+    assert len(outcomes) == n
+    assert locks.stats.deadlock_victims == locks.stats.cycles_detected
+    assert not locks._waiting
+
+
+def test_killed_waiter_withdraws_queued_request(setup):
+    """A process killed while blocked must not be granted the lock later
+    (the chaos-kill path: the fleet worker dies mid-``acquire_wait``)."""
+    sim, locks = setup
+    log = []
+    holder(sim, locks, 1, [(0, "A", LockMode.X)], then=50, log=log)
+    victim = holder(sim, locks, 2, [(5, "A", LockMode.X)], then=0, log=log)
+    holder(sim, locks, 3, [(10, "A", LockMode.X)], then=0, log=log)
+    sim.call_later(20.0, victim.kill)
+    sim.run()
+    # t2 was killed while queued: the grant at t=50 must skip it and go
+    # straight to t3; no corpse holds A afterwards.
+    assert (3, "granted", "A", 50.0) in log
+    assert not any(e[0] == 2 and e[1] == "granted" for e in log)
+    assert 2 not in locks._waiting
+    assert locks.holders("A") == {}

@@ -1,0 +1,159 @@
+"""The reorganizer fleet: leases, chaos-kill takeover, WAL resume.
+
+The headline test kills one of two workers mid-IRA and requires the
+survivor to (a) wait out the lease, (b) reap the corpse's orphaned
+system transactions, (c) resume from the WAL-carried ``REORG_PROGRESS``
+state rather than restarting, and (d) finish with byte-identical final
+state to an unkilled twin — all while the §4.2 two-lock footprint
+oracle stays clean.
+"""
+
+import pytest
+
+from repro.config import FleetConfig, SystemConfig, WorkloadConfig
+from repro.database import Database
+from repro.faults.chaos import graph_signature
+from repro.serve import LeaseTable, ReorgFleet
+from repro.sim import Delay, Simulator
+
+
+# -- leases -------------------------------------------------------------------
+
+def test_lease_acquire_renew_release():
+    sim = Simulator()
+    table = LeaseTable(sim, lease_ms=100.0)
+    assert table.acquire(1, "w0") is not None
+    assert table.holder(1) == "w0"
+    assert table.acquire(1, "w1") is None      # live foreign lease
+    assert table.refusals == 1
+    assert table.renew(1, "w0")
+    assert not table.renew(1, "w1")            # not the owner
+    table.release(1, "w0")
+    assert table.holder(1) is None
+
+
+def test_lease_expiry_enables_takeover_with_generation_bump():
+    sim = Simulator()
+    table = LeaseTable(sim, lease_ms=100.0)
+    first = table.acquire(1, "w0")
+
+    def proc():
+        yield Delay(99.0)
+        assert table.holder(1) == "w0"         # still live at 99 ms
+        assert table.acquire(1, "w1") is None
+        yield Delay(2.0)
+        assert table.holder(1) is None         # expired: presumed dead
+        second = table.acquire(1, "w1")
+        assert second is not None
+        assert second.generation == first.generation + 1
+        # The corpse cannot renew or release a lease it lost.
+        assert not table.renew(1, "w0")
+        table.release(1, "w0")
+        assert table.holder(1) == "w1"
+
+    sim.run_process(proc())
+    assert table.takeovers == 1
+    assert table.refusals == 1
+
+
+# -- the fleet ----------------------------------------------------------------
+
+def _build():
+    workload = WorkloadConfig(num_partitions=3, objects_per_partition=340,
+                              mpl=4, seed=42)
+    return Database.with_workload(
+        workload, system=SystemConfig(deadlock_detection="waits-for"))
+
+
+def _run_fleet(kill_at=None, workers=2):
+    db, layout = _build()
+    engine = db.engine
+    fleet = ReorgFleet(engine, [1, 2],
+                       FleetConfig(workers=workers, lease_ms=200.0,
+                                   heartbeat_ms=40.0),
+                       layout=layout)
+    monitors = fleet.install_monitors(limit=2)
+    fleet.spawn()
+    if kill_at is not None:
+        engine.sim.call_later(
+            kill_at, lambda: engine.sim.kill_matching("reorg-worker-0"))
+    engine.sim.run(until=60_000.0)
+    assert fleet.done, "fleet wedged before the horizon"
+    return db, fleet, monitors
+
+
+def test_fleet_reorganizes_all_claims_without_faults():
+    db, fleet, monitors = _run_fleet()
+    assert sorted(fleet.completed) == [1, 2]
+    assert fleet.leases.takeovers == 0
+    assert db.verify_integrity().ok
+    # Two workers, two claims: both partitions ran under a live lease.
+    assert set(fleet.stats) == {1, 2}
+    assert all(not monitor.violations for monitor in monitors)
+
+
+def test_chaos_kill_mid_ira_takeover_resumes_from_wal():
+    """The satellite: kill worker-0 mid-reorganization."""
+    twin_db, twin_fleet, _ = _run_fleet(kill_at=None)
+    twin_signature = graph_signature(twin_db.engine)
+
+    db, fleet, monitors = _run_fleet(kill_at=300.0)
+    # The lease expired and the survivor took the partition over —
+    # exactly once; no partition was ever worked twice concurrently.
+    assert fleet.leases.takeovers == 1
+    # Takeover *resumed* from the WAL-carried REORG_PROGRESS state (the
+    # kill landed after the first checkpoint) and reaped the corpse's
+    # in-flight system transactions.
+    assert fleet.resumes >= 1
+    assert fleet.orphans_committed + fleet.orphans_aborted >= 1
+    assert sorted(fleet.completed) == [1, 2]
+    assert db.verify_integrity().ok
+    # §4.2: every incarnation, including the killed one, held at most
+    # two distinct object locks at a time.
+    assert monitors, "footprint monitors were never installed"
+    assert all(not monitor.violations for monitor in monitors)
+    # Crash-transparency: the final object graph is byte-identical to
+    # the unkilled twin's.
+    assert graph_signature(db.engine) == twin_signature
+
+
+@pytest.mark.parametrize("kill_at", [30.0, 150.0])
+def test_chaos_kill_before_first_checkpoint_restarts_cleanly(kill_at):
+    """An early kill (no checkpoint yet) restarts the partition from
+    scratch; final state still matches the twin."""
+    twin_db, _, _ = _run_fleet(kill_at=None)
+    db, fleet, _ = _run_fleet(kill_at=kill_at)
+    assert fleet.leases.takeovers == 1
+    assert sorted(fleet.completed) == [1, 2]
+    assert db.verify_integrity().ok
+    assert graph_signature(db.engine) == graph_signature(twin_db.engine)
+
+
+def test_no_concurrent_ownership_during_takeover():
+    """While the dead worker's lease is live, nobody else may claim the
+    partition — the mutual-exclusion window the lease term guarantees."""
+    db, layout = _build()
+    engine = db.engine
+    fleet = ReorgFleet(engine, [1],
+                       FleetConfig(workers=2, lease_ms=300.0,
+                                   heartbeat_ms=50.0),
+                       layout=layout)
+    owners = []
+
+    def watch(reorg):
+        owners.append((engine.sim.now, fleet.leases.holder(
+            reorg.partition_id)))
+
+    fleet.on_reorganizer = watch
+    fleet.spawn()
+    engine.sim.call_later(
+        100.0, lambda: engine.sim.kill_matching("reorg-worker-0"))
+    engine.sim.run(until=60_000.0)
+    assert fleet.done
+    assert db.verify_integrity().ok
+    # The takeover incarnation started only after the dead owner's
+    # lease ran out — at least lease_ms after its last heartbeat, which
+    # was at most heartbeat_ms before the kill.
+    takeover_times = [at for at, _ in owners[1:]]
+    assert takeover_times, "no takeover happened"
+    assert all(at >= 100.0 + 300.0 - 50.0 for at in takeover_times)

@@ -167,3 +167,78 @@ def test_mutex_locked_flag():
         assert not mutex.locked
 
     sim.run_process(proc())
+
+
+# -- kill safety --------------------------------------------------------------
+#
+# A process killed at its resource wait (the chaos-kill path: the fleet
+# reaps a dead reorganizer worker and the sim keeps running) must leak
+# neither its queue entry nor a just-granted slot — otherwise the
+# resource wedges for every later user.
+
+def test_kill_while_queued_does_not_wedge_resource():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="cpu")
+    finish = {}
+
+    def proc(tag, duration):
+        yield from cpu.use(duration)
+        finish[tag] = sim.now
+
+    sim.spawn(proc("holder", 50.0))
+    victim = sim.spawn(proc("victim", 10.0))
+    sim.spawn(proc("survivor", 10.0))
+    sim.call_later(20.0, victim.kill)
+    sim.run()
+    # The victim's queue entry is withdrawn: the slot freed at t=50 goes
+    # straight to the survivor, and the resource ends idle.
+    assert finish == {"holder": 50.0, "survivor": 60.0}
+    assert cpu.in_use == 0
+    assert cpu.queue_length == 0
+
+
+def test_kill_after_grant_before_resume_releases_slot():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="cpu")
+    finish = {}
+
+    def proc(tag, duration):
+        yield from cpu.use(duration)
+        finish[tag] = sim.now
+
+    sim.spawn(proc("holder", 50.0))
+    victim = sim.spawn(proc("victim", 10.0))
+    sim.spawn(proc("survivor", 10.0))
+    # release() pre-grants the slot to the victim's gate at t=50; the
+    # kill lands in the same instant, before the victim resumes.
+    sim.call_later(50.0, victim.kill)
+    sim.run()
+    assert finish == {"holder": 50.0, "survivor": 60.0}
+    assert cpu.in_use == 0
+    assert cpu.queue_length == 0
+
+
+def test_kill_while_queued_on_acquire_path():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="cpu")
+    finish = {}
+
+    def holder():
+        yield from cpu.use(30.0)
+
+    def via_acquire(tag):
+        yield from cpu.acquire()
+        try:
+            yield Delay(10.0)
+        finally:
+            cpu.release()
+        finish[tag] = sim.now
+
+    sim.spawn(holder())
+    victim = sim.spawn(via_acquire("victim"))
+    sim.spawn(via_acquire("survivor"))
+    sim.call_later(10.0, victim.kill)
+    sim.run()
+    assert finish == {"survivor": 40.0}
+    assert cpu.in_use == 0
+    assert cpu.queue_length == 0
