@@ -143,6 +143,13 @@ def _bench_figure(args, workload):
             args.scale,
             progress=lambda line: print(f"  {line}", file=sys.stderr))
         return format_clustering(points), figure_payload(points, 0.0)
+    if args.experiment == "dist":
+        from .dist.bench import (dist_payload, format_dist,
+                                 run_dist_experiment)
+        rows = run_dist_experiment(
+            args.scale,
+            progress=lambda line: print(f"  {line}", file=sys.stderr))
+        return format_dist(rows), dist_payload(rows)
     if args.experiment == "scale":
         from .serve.bench import SCALE_ARMS, format_scale, run_scale_experiment
         rows = run_scale_experiment(
@@ -338,9 +345,38 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_chaos_dist(args) -> int:
+    from .dist import run_dist_chaos
+
+    def show(name, result):
+        status = "ok" if result.ok else "FAIL"
+        print(f"  {name:<32} {status}  crashes={result.crashes} "
+              f"sim={result.sim_ms:.0f}ms")
+        for problem in result.problems:
+            print(f"      {problem}")
+
+    report = run_dist_chaos(quick=args.quick, progress=show)
+    print(f"\n  scenarios {len(report.results)}  passed {report.passed}")
+    for result in report.failures():
+        flags = []
+        if not result.fired:
+            flags.append("fault never fired")
+        if not result.completed:
+            flags.append("did not quiesce")
+        if not result.signature_ok:
+            flags.append("graph signature changed")
+        if not result.twin_identical:
+            flags.append("state differs from unkilled twin")
+        print(f"  FAILED {result.scenario}: "
+              f"{'; '.join(flags) or 'integrity problems'}")
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args) -> int:
     from .faults import (CORRUPTION_KINDS, chaos_sweep, corruption_sweep,
                          run_chaos_point)
+    if args.dist:
+        return _cmd_chaos_dist(args)
     workload = WorkloadConfig(num_partitions=args.partitions,
                               objects_per_partition=args.objects,
                               mpl=args.mpl, seed=args.seed)
@@ -489,7 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("experiment",
                        choices=["table2", "mpl", "partition-size",
-                                "update-prob", "clustering", "scale"])
+                                "update-prob", "clustering", "scale",
+                                "dist"])
     bench.add_argument("--profile", type=int, nargs="?", const=25,
                        default=0, metavar="N",
                        help="run under cProfile and print the top N "
@@ -557,6 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "torn_log_tail"],
                        help="inject silent corruption at every point and "
                             "demand detection + repair (default none)")
+    chaos.add_argument("--dist", action="store_true",
+                       help="sweep the distributed cluster instead: 2PC "
+                            "stage crashes, node kills, link partitions "
+                            "and message loss, gated on a fault-free twin")
+    chaos.add_argument("--quick", action="store_true",
+                       help="with --dist: the reduced scenario set")
     chaos.set_defaults(fn=cmd_chaos)
 
     verify = sub.add_parser("verify",

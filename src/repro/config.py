@@ -13,8 +13,89 @@ of depth 3: 1 + 4 + 16 + 64 = 85).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
 from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """One deterministic retry/backoff policy for every retry loop.
+
+    The repo's retry sites share two delay shapes:
+
+    * ``"exponential"`` — ``min(base_ms * factor**attempt, max_ms)``,
+      scaled down by up to ``jitter`` drawn from the caller's seeded RNG
+      (the reorganizer's deadlock retries, transient-I/O retries, and
+      the 2PC RPC layer);
+    * ``"uniform"`` — a fresh ``uniform(low_ms, high_ms)`` draw per
+      retry (the workload driver's and serving layer's abort backoff).
+
+    The policy itself is stateless and frozen; determinism comes from
+    the caller passing a seeded ``random.Random`` (build one with
+    :meth:`rng`).  ``delay_ms`` draws from the RNG exactly as the
+    historical inline code did, so seeded runs reproduce byte-for-byte.
+    """
+
+    #: Give up after this many retries (``None`` = retry forever).
+    max_retries: Optional[int] = 8
+    kind: str = "exponential"
+    # Exponential shape.  ``base_ms <= 0`` means retry immediately
+    # (no delay, and — important for determinism — no RNG draw).
+    base_ms: float = 8.0
+    factor: float = 2.0
+    max_ms: float = float("inf")
+    jitter: float = 0.0
+    # Uniform shape.
+    low_ms: float = 1.0
+    high_ms: float = 50.0
+
+    @classmethod
+    def exponential(cls, base_ms: float, factor: float = 2.0,
+                    max_ms: float = float("inf"), jitter: float = 0.0,
+                    max_retries: Optional[int] = 8) -> "RetryPolicy":
+        return cls(max_retries=max_retries, kind="exponential",
+                   base_ms=base_ms, factor=factor, max_ms=max_ms,
+                   jitter=jitter)
+
+    @classmethod
+    def uniform(cls, low_ms: float = 1.0, high_ms: float = 50.0,
+                max_retries: Optional[int] = 8) -> "RetryPolicy":
+        return cls(max_retries=max_retries, kind="uniform",
+                   low_ms=low_ms, high_ms=high_ms)
+
+    @staticmethod
+    def rng(label: object) -> random.Random:
+        """A seeded RNG for this retry sequence.  String labels keep
+        runs reproducible (tuples would go through randomized hash())."""
+        return random.Random(label)
+
+    def exhausted(self, retries: int) -> bool:
+        """True once ``retries`` failures have used up the budget."""
+        return self.max_retries is not None and retries >= self.max_retries
+
+    def delay_ms(self, attempt: int,
+                 rng: Optional[random.Random] = None) -> float:
+        """Backoff before the ``attempt``-th retry (0-based).
+
+        Exponential draws one ``rng.random()`` when an RNG is supplied
+        and ``base_ms > 0``; uniform draws one ``rng.uniform``.  Callers
+        that share their RNG with other draws rely on this exact
+        consumption pattern.
+        """
+        if self.kind == "uniform":
+            if rng is None:
+                return (self.low_ms + self.high_ms) / 2.0
+            return rng.uniform(self.low_ms, self.high_ms)
+        if self.base_ms <= 0:
+            return 0.0
+        delay = min(self.base_ms * self.factor ** attempt, self.max_ms)
+        if rng is not None:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def copy(self, **overrides) -> "RetryPolicy":
+        return replace(self, **overrides)
 
 
 @dataclass
@@ -66,6 +147,11 @@ class SystemConfig:
     verify_page_reads: bool = True
     scrub_interval_ms: float = 0.0
     scrub_pages_per_sweep: int = 8
+
+    def io_retry_policy(self) -> RetryPolicy:
+        """Transient-I/O retries: uncapped exponential, no jitter."""
+        return RetryPolicy.exponential(base_ms=self.io_retry_backoff_ms,
+                                       max_retries=self.io_retry_limit)
 
     def copy(self, **overrides) -> "SystemConfig":
         return replace(self, **overrides)
@@ -144,6 +230,15 @@ class ReorgConfig:
     retry_jitter: float = 0.5
     retry_seed: int = 0
 
+    def retry_policy(self) -> RetryPolicy:
+        """The deadlock-retry backoff above as a :class:`RetryPolicy`."""
+        return RetryPolicy.exponential(
+            base_ms=self.retry_backoff_ms,
+            factor=self.retry_backoff_factor,
+            max_ms=self.retry_backoff_max_ms,
+            jitter=self.retry_jitter,
+            max_retries=self.max_deadlock_retries)
+
     def copy(self, **overrides) -> "ReorgConfig":
         return replace(self, **overrides)
 
@@ -184,6 +279,11 @@ class ServeConfig:
     #: later, once in-flight requests drain).
     duration_ms: float = 30_000.0
     seed: int = 42
+
+    def retry_policy(self) -> RetryPolicy:
+        """Per-request abort backoff: the driver's uniform jitter under
+        this config's retry budget."""
+        return RetryPolicy.uniform(max_retries=self.retry_budget)
 
     def copy(self, **overrides) -> "ServeConfig":
         return replace(self, **overrides)
@@ -230,6 +330,67 @@ class GovernorConfig:
     pause_after_breaches: int = 4
 
     def copy(self, **overrides) -> "GovernorConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class DistConfig:
+    """Multi-node cluster (``repro.dist``): sharding, interconnect and
+    cross-node reorganization knobs."""
+
+    #: Nodes in the cluster; node ``i`` owns data partition ``10*i + 1``
+    #: (reorganized) and hub partition ``10*i + 2`` (never reorganized —
+    #: see DIST.md for why cross-node references only originate in hubs).
+    node_count: int = 3
+    #: Live objects bulk-loaded into each node's data partition.
+    objects_per_partition: int = 36
+    payload_bytes: int = 24
+    #: Fraction of each data partition's objects given a *remote* hub
+    #: parent (the edges whose TRT maintenance needs 2PC).
+    remote_ref_fraction: float = 0.5
+    #: Fraction additionally given a *local* hub parent (same node,
+    #: different partition — patched by the ordinary local protocol).
+    local_hub_fraction: float = 0.25
+    #: Reference slots per hub object.
+    hub_fanout: int = 4
+    seed: int = 7
+    #: Per-link one-way delay range; the jitter is also what reorders
+    #: messages relative to each other.
+    link_delay_min_ms: float = 0.5
+    link_delay_max_ms: float = 3.0
+    heartbeat_ms: float = 25.0
+    suspect_after_ms: float = 80.0
+    #: Per-attempt RPC deadline; retries follow :meth:`rpc_retry_policy`.
+    rpc_deadline_ms: float = 30.0
+    #: How long a prepared participant waits for the pushed decision
+    #: before pulling it from the coordinator.
+    decision_timeout_ms: float = 60.0
+    #: Per-node background scrubber cadence (0 disables).
+    scrub_interval_ms: float = 40.0
+    scrub_pages_per_sweep: int = 4
+    #: Objects per migration transaction on each node.
+    migration_batch_size: int = 4
+    #: Safety horizon for cluster runs (heartbeats never drain the queue,
+    #: so every run uses ``run(until=...)``).
+    horizon_ms: float = 120_000.0
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError("node_count must be >= 1")
+        if not 0.0 <= self.remote_ref_fraction <= 1.0:
+            raise ValueError("remote_ref_fraction must be in [0, 1]")
+        if not 0.0 <= self.local_hub_fraction <= 1.0:
+            raise ValueError("local_hub_fraction must be in [0, 1]")
+
+    def rpc_retry_policy(self) -> RetryPolicy:
+        """Cross-node RPC backoff: the same shared policy shape as disk
+        retries and the serving layer — capped exponential with seeded
+        jitter, then :class:`~repro.errors.NodeUnreachableError`."""
+        return RetryPolicy.exponential(base_ms=5.0, factor=2.0,
+                                       max_ms=80.0, jitter=0.25,
+                                       max_retries=6)
+
+    def copy(self, **overrides) -> "DistConfig":
         return replace(self, **overrides)
 
 

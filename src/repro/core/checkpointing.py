@@ -327,8 +327,12 @@ def committed_migrations_from_log(engine, partition_id: int,
     Every IRA migration patches at least one parent with a system-
     transaction REF_UPDATE whose old child is the migrated object and
     whose new child is its copy, so the committed system transactions'
-    reference updates carry the mapping.  Pairs are sanity-filtered: the
-    old address must be gone and the new one live.
+    reference updates carry the mapping.  The returned dict preserves
+    log order (insertion order == commit order), which callers must
+    respect: slot reuse lets one migration's freed source address come
+    back as a later migration's target, so replaying the pairs in any
+    other order (or checking addresses against the current store) gets
+    aliased addresses wrong.
     """
     owned_tids: Set[int] = set()
     committed: Set[int] = set()
@@ -349,19 +353,24 @@ def committed_migrations_from_log(engine, partition_id: int,
             continue
         if old.partition != partition_id:
             continue
-        if not engine.store.exists(old) and engine.store.exists(new):
-            pairs[old] = new
+        pairs[old] = new
     return pairs
 
 
 def resume_reorganization(engine, state_store: ReorgStateStore,
-                          plan=None, reorg_config=None):
+                          plan=None, reorg_config=None, factory=None):
     """Build a reorganizer that continues from the last checkpoint.
 
     Rolls the checkpointed state forward over the log suffix (migrations
     committed after the checkpoint, §4.4), rebuilds the TRT, restores the
     relocation floor, and returns a ready-to-run reorganizer — or ``None``
     when no checkpoint exists (start afresh per §4.4).
+
+    ``factory`` overrides the algorithm-name class dispatch: called as
+    ``factory(engine, partition_id, plan, reorg_config, state_store)``,
+    it lets callers resume reorganizer subclasses this module does not
+    know about (the distributed reorganizer in :mod:`repro.dist` carries
+    node/cluster context no class-name lookup could reconstruct).
     """
     from .ira import IncrementalReorganizer
     from .ira_twolock import TwoLockReorganizer
@@ -383,10 +392,14 @@ def resume_reorganization(engine, state_store: ReorgStateStore,
                     parent_set.discard(old)
                     parent_set.add(new)
 
-    cls = (TwoLockReorganizer if state.algorithm == "ira-2lock"
-           else IncrementalReorganizer)
-    reorganizer = cls(engine, state.partition_id, plan=plan,
-                      reorg_config=reorg_config, state_store=state_store)
+    if factory is not None:
+        reorganizer = factory(engine, state.partition_id, plan,
+                              reorg_config, state_store)
+    else:
+        cls = (TwoLockReorganizer if state.algorithm == "ira-2lock"
+               else IncrementalReorganizer)
+        reorganizer = cls(engine, state.partition_id, plan=plan,
+                          reorg_config=reorg_config, state_store=state_store)
     reorganizer.plan.prepare(engine, state.partition_id)
     engine.store.partition(state.partition_id).relocation_floor = \
         state.relocation_floor

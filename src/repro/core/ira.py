@@ -27,7 +27,6 @@ for every active transaction that ever locked it (§4.1).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set
 
@@ -99,12 +98,18 @@ class IncrementalReorganizer:
         self._parents: Dict[Oid, Set[Oid]] = {}
         self._order: List[Oid] = []
         self._mapping: Dict[Oid, Oid] = self.stats.mapping
+        # Addresses handed out as migration *targets*.  Slot reuse can
+        # hand a freed source address back out as a later target, so a
+        # parent-list entry that already names a target must never be
+        # pushed through the old->new mapping again (see _translate).
+        self._new_targets: Set[Oid] = set()
         self._migrated: Set[Oid] = set()
         self._allocated_at_traversal: Set[Oid] = set()
         self._resumed = False
         # Seeded per-reorganizer: a string seed keeps runs reproducible
         # (tuple seeds would go through randomized hash()).
-        self._retry_rng = random.Random(
+        self._retry_policy = self.cfg.retry_policy()
+        self._retry_rng = self._retry_policy.rng(
             f"backoff/{self.cfg.retry_seed}/{partition_id}")
         #: Observation hook ``probe(event, **info)`` for repro.explore:
         #: fired at "exact_parents" (oid, parents), "migrated"
@@ -219,7 +224,7 @@ class IncrementalReorganizer:
                         txn, oid, batch_mapping, keep_locked)
                     yield from self._move_object(
                         txn, oid, parents, batch_mapping, bookkeeping)
-                yield from txn.commit()
+                yield from self._commit_batch(txn, batch_mapping)
             except LockTimeoutError:
                 self.stats.deadlock_retries += 1
                 yield from txn.abort(reason="deadlock")
@@ -231,6 +236,18 @@ class IncrementalReorganizer:
             f"batch starting at {batch[0]} exceeded "
             f"{self.cfg.max_deadlock_retries} deadlock retries")
 
+    def _commit_batch(self, txn,
+                      batch_mapping: Dict[Oid, Oid]
+                      ) -> Generator[Any, Any, None]:
+        """Commit one migration batch.
+
+        The seam for distributed reorganization (:mod:`repro.dist`):
+        when some of the batch's parents live on other nodes the commit
+        becomes a two-phase protocol across those nodes.  Single-node
+        reorganization just commits the local transaction.
+        """
+        yield from txn.commit()
+
     def _retry_backoff(self, attempt: int) -> Generator[Any, Any, None]:
         """Sleep before retrying a deadlock-aborted batch (§4.4 retries).
 
@@ -239,12 +256,7 @@ class IncrementalReorganizer:
         instead of re-colliding in lockstep.  ``retry_backoff_ms = 0``
         restores the retry-immediately behaviour.
         """
-        if self.cfg.retry_backoff_ms <= 0:
-            return
-        delay = min(
-            self.cfg.retry_backoff_ms * self.cfg.retry_backoff_factor ** attempt,
-            self.cfg.retry_backoff_max_ms)
-        delay *= 1.0 - self.cfg.retry_jitter * self._retry_rng.random()
+        delay = self._retry_policy.delay_ms(attempt, self._retry_rng)
         if delay > 0:
             self.stats.backoff_ms_total += delay
             yield Delay(delay)
@@ -384,12 +396,21 @@ class IncrementalReorganizer:
                     parent_set.discard(oid)
                     parent_set.add(new_oid)
             self._mapping[oid] = new_oid
+            self._new_targets.add(new_oid)
             self._migrated.add(oid)
             self.stats.objects_migrated += 1
             self._probe("migrated", oid=oid, new_oid=new_oid)
 
     def _translate(self, oid: Oid, batch_mapping: Dict[Oid, Oid]) -> Oid:
-        """Committed migrations first, then this batch's in-flight ones."""
+        """Committed migrations first, then this batch's in-flight ones.
+
+        An address already handed out as a migration target is final:
+        when the allocator reuses a freed source slot for a later
+        target, that address is also a *key* of the mapping, and
+        translating it again would alias two different objects.
+        """
+        if oid in self._new_targets:
+            return oid
         oid = self._mapping.get(oid, oid)
         return batch_mapping.get(oid, oid)
 
@@ -443,6 +464,7 @@ class IncrementalReorganizer:
         self._order = list(state.order)
         self._parents = {k: set(v) for k, v in state.parents.items()}
         self._mapping.update(state.mapping)
+        self._new_targets.update(self._mapping.values())
         self._migrated = set(state.migrated)
         self._allocated_at_traversal = set(state.allocated_at_traversal)
         self.stats.objects_found = len(self._order)

@@ -1,0 +1,136 @@
+"""Cross-node reorganization cost: the degradation curve.
+
+How much slower does reorganizing a partition get when a growing share
+of its objects have parents on *other* nodes?  Each migration batch with
+at least one remote parent pays a 2PC round (two RPC round-trips plus a
+participant force-log) on top of the local work, so completion time
+degrades with the remote-reference fraction.  The single-node
+configuration — same object count, no interconnect in the commit path —
+is the baseline the curve is normalized against.
+
+All numbers are simulated time, deterministic given the seed; kernel and
+network counters ride along for regression tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..config import DistConfig
+from .cluster import DistCluster
+from .verify import cluster_deep_verify
+
+#: remote_ref_fraction sweep per bench scale.  Remote hub parents are
+#: strided across the partition, so once every migration batch contains
+#: one the per-batch 2PC round count — and with it the duration —
+#: saturates; the low-fraction points are where the curve climbs.
+DIST_SCALES: Dict[str, dict] = {
+    "paper": {"objects_per_partition": 96,
+              "fractions": (0.0, 0.05, 0.1, 0.25, 0.5, 1.0)},
+    "standard": {"objects_per_partition": 48,
+                 "fractions": (0.0, 0.1, 0.25, 0.5, 1.0)},
+    "quick": {"objects_per_partition": 24,
+              "fractions": (0.0, 0.1, 0.25, 0.5, 1.0)},
+}
+
+
+@dataclass
+class DistBenchRow:
+    label: str
+    completion_ms: float
+    reorg_ms_mean: float
+    tpc_rounds: int
+    remote_patches: int
+    net_sent: int
+    net_delivered: int
+    paused_ms: float
+
+    def summary(self) -> dict:
+        return {
+            "completion_ms": self.completion_ms,
+            "reorg_ms_mean": self.reorg_ms_mean,
+            "tpc_rounds": self.tpc_rounds,
+            "remote_patches": self.remote_patches,
+            "paused_ms": self.paused_ms,
+        }
+
+    def counters(self) -> dict:
+        return {"net_sent": self.net_sent,
+                "net_delivered": self.net_delivered}
+
+
+def _run_one(config: DistConfig, label: str) -> DistBenchRow:
+    cluster = DistCluster(config).build()
+    cluster.reorganize_all()
+    if not cluster.run_until_reorgs_done():
+        raise RuntimeError(f"dist bench run '{label}' did not complete")
+    problems = cluster_deep_verify(cluster)
+    if problems:
+        raise RuntimeError(f"dist bench run '{label}' not clean: "
+                           f"{problems[:3]}")
+    stats = [n.reorg_stats for n in cluster.nodes]
+    reorgs = [n.reorg for n in cluster.nodes]
+    return DistBenchRow(
+        label=label,
+        completion_ms=cluster.sim.now,
+        reorg_ms_mean=sum(s.duration_ms for s in stats) / len(stats),
+        tpc_rounds=sum(r.tpc_rounds for r in reorgs),
+        remote_patches=sum(r.remote_patches for r in reorgs),
+        net_sent=cluster.net.stats.sent,
+        net_delivered=cluster.net.stats.delivered,
+        paused_ms=sum(r.paused_ms for r in reorgs),
+    )
+
+
+def run_dist_experiment(scale: str = "quick",
+                        node_count: int = 3,
+                        progress: Optional[Callable[[str], None]] = None
+                        ) -> Dict[str, DistBenchRow]:
+    """Single-node baseline plus the remote-fraction sweep."""
+    params = DIST_SCALES[scale]
+    objects = params["objects_per_partition"]
+    rows: Dict[str, DistBenchRow] = {}
+
+    single = DistConfig(node_count=1, objects_per_partition=objects)
+    rows["single-node"] = _run_one(single, "single-node")
+    if progress is not None:
+        progress(f"single-node done "
+                 f"({rows['single-node'].reorg_ms_mean:.0f} ms)")
+
+    for fraction in params["fractions"]:
+        config = DistConfig(node_count=node_count,
+                            objects_per_partition=objects,
+                            remote_ref_fraction=fraction)
+        label = f"remote={fraction:g}"
+        rows[label] = _run_one(config, label)
+        if progress is not None:
+            progress(f"{label} done ({rows[label].reorg_ms_mean:.0f} ms, "
+                     f"{rows[label].tpc_rounds} 2PC rounds)")
+    return rows
+
+
+def format_dist(rows: Dict[str, DistBenchRow]) -> str:
+    base = rows["single-node"].reorg_ms_mean
+    lines = [
+        "Cross-node reorganization degradation "
+        "(per-partition reorg time vs single-node)",
+        "",
+        f"{'config':>14} {'reorg ms':>9} {'degrade':>8} {'2PC':>5} "
+        f"{'patches':>8} {'msgs':>7} {'paused ms':>10}",
+    ]
+    for label, row in rows.items():
+        degrade = row.reorg_ms_mean / base if base else float("inf")
+        lines.append(
+            f"{label:>14} {row.reorg_ms_mean:>9.0f} {degrade:>7.2f}x "
+            f"{row.tpc_rounds:>5} {row.remote_patches:>8} "
+            f"{row.net_sent:>7} {row.paused_ms:>10.0f}")
+    return "\n".join(lines)
+
+
+def dist_payload(rows: Dict[str, DistBenchRow]) -> dict:
+    return {
+        "wall_clock_s": 0.0,
+        "metrics": {label: row.summary() for label, row in rows.items()},
+        "counters": {label: row.counters() for label, row in rows.items()},
+    }

@@ -1,0 +1,86 @@
+"""Heartbeat failure detection and graceful degradation.
+
+Every node beats to every peer over the interconnect at a fixed cadence;
+a peer not heard from within ``suspect_after_ms`` is *suspected* down.
+The detector is deliberately weak — partitions and crashes are
+indistinguishable, and a suspicion can be wrong — so nothing here is
+used for safety.  Safety lives in the WAL and the presumed-abort 2PC
+protocol; the detector only drives *liveness* policy:
+
+* the distributed reorganizer pauses (rather than spinning RPC retries
+  into a dead peer) and resumes when the peer is heard from again;
+* the serving layer sheds remote reads toward suspected nodes fast
+  instead of eating the full RPC deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable
+
+from ..sim import Delay
+
+
+@dataclass
+class DetectorStats:
+    beats_sent: int = 0
+    beats_heard: int = 0
+    suspicions: int = 0
+    await_up_waits: int = 0
+
+
+class FailureDetector:
+    """Per-node heartbeat emitter + peer liveness table."""
+
+    HEARTBEAT = "hb"
+
+    def __init__(self, rpc, node_id: int, peers: Iterable[int], sim,
+                 heartbeat_ms: float = 25.0, suspect_after_ms: float = 80.0):
+        if heartbeat_ms <= 0 or suspect_after_ms <= heartbeat_ms:
+            raise ValueError("need 0 < heartbeat_ms < suspect_after_ms")
+        self.rpc = rpc
+        self.node_id = node_id
+        self.peers = sorted(set(peers) - {node_id})
+        self.sim = sim
+        self.heartbeat_ms = heartbeat_ms
+        self.suspect_after_ms = suspect_after_ms
+        self.stats = DetectorStats()
+        # Start optimistic: a peer is considered alive until a full
+        # suspicion window passes without a beat, so a cluster does not
+        # boot into all-suspected before the first heartbeat lands.
+        self._last_heard: Dict[int, float] = {p: sim.now for p in self.peers}
+        self._suspected: Dict[int, bool] = {p: False for p in self.peers}
+        rpc.serve_cast(self.HEARTBEAT, self._on_heartbeat)
+
+    def start(self) -> None:
+        self.sim.spawn(self._beat(), name=f"n{self.node_id}/detector")
+
+    def _beat(self) -> Generator[Any, Any, None]:
+        while True:
+            for peer in self.peers:
+                self.stats.beats_sent += 1
+                self.rpc.cast(peer, self.HEARTBEAT, {})
+            yield Delay(self.heartbeat_ms)
+
+    def _on_heartbeat(self, src: int, _payload: dict) -> None:
+        self.stats.beats_heard += 1
+        self._last_heard[src] = self.sim.now
+        self._suspected[src] = False
+
+    def is_up(self, peer: int) -> bool:
+        last = self._last_heard.get(peer)
+        if last is None:
+            return False
+        up = (self.sim.now - last) <= self.suspect_after_ms
+        if not up and not self._suspected.get(peer, False):
+            self._suspected[peer] = True
+            self.stats.suspicions += 1
+        return up
+
+    def await_up(self, peer: int) -> Generator[Any, Any, None]:
+        """Park until ``peer`` is heard from again (graceful degradation:
+        the caller pauses instead of hammering a dead node)."""
+        if not self.is_up(peer):
+            self.stats.await_up_waits += 1
+        while not self.is_up(peer):
+            yield Delay(self.heartbeat_ms)

@@ -122,6 +122,18 @@ class StorageEngine:
         #: user transactions when installed; ``None`` costs nothing and
         #: tracing itself never perturbs the simulation.
         self.tracer = None
+        #: ``oid -> bool`` existence oracle for objects in partitions this
+        #: store does not hold (repro.dist wires the cluster directory
+        #: here).  ``verify_integrity`` consults it before declaring a
+        #: cross-node reference dangling; ``None`` keeps the historical
+        #: single-node behaviour.
+        self.remote_resolver = None
+        #: ``partition_id -> set[(child, parent)]`` of cross-node
+        #: references into a locally-owned partition, computed by the
+        #: cluster from the *other* nodes' stores.  Local page scans
+        #: cannot see remote parents, so without this hook a correct
+        #: remote-parent ERT entry would read as spurious.
+        self.remote_ert_expected = None
         self._wire_read_verification()
 
     def _wire_read_verification(self) -> None:
@@ -210,14 +222,24 @@ class StorageEngine:
             self.checkpoint_hook(payload, snapshot_id, lsn)
         return lsn
 
+    def crash_image(self) -> CrashImage:
+        """Capture what survives a failure *without* killing anything.
+
+        The seam for multi-node simulations (:mod:`repro.dist`): a single
+        node's crash must capture its own durable state and kill only its
+        own processes, while the rest of the cluster keeps running on the
+        shared simulator.
+        """
+        if self.injector is not None:
+            self.injector.detach()
+        return CrashImage(durable_log=self.log.durable_bytes(),
+                          snapshots=self.snapshots,
+                          config=self.config)
+
     def crash(self) -> CrashImage:
         """Simulate a system failure: kill every process, keep only the
         durable state."""
-        if self.injector is not None:
-            self.injector.detach()
-        image = CrashImage(durable_log=self.log.durable_bytes(),
-                           snapshots=self.snapshots,
-                           config=self.config)
+        image = self.crash_image()
         self.sim.kill_all()
         return image
 
@@ -298,6 +320,8 @@ class StorageEngine:
         engine.checkpoint_hook = None
         engine.history = None
         engine.tracer = None
+        engine.remote_resolver = None
+        engine.remote_ert_expected = None
         engine._wire_read_verification()
         return engine
 
@@ -313,12 +337,24 @@ class StorageEngine:
             image = self.store.read_object(parent)
             for slot, child in image.refs():
                 if not self.store.exists(child):
+                    # A reference into a partition this store does not
+                    # hold is cross-node: ask the cluster directory (the
+                    # child's owner keeps the authoritative ERT for it).
+                    if (self.remote_resolver is not None
+                            and not self.store.has_partition(
+                                child.partition)):
+                        if not self.remote_resolver(child):
+                            report.dangling_refs.append(
+                                (parent, slot, child))
+                        continue
                     report.dangling_refs.append((parent, slot, child))
                 elif child.partition != parent.partition:
                     actual_ert[child.partition].add((child, parent))
         for pid in self.store.partition_ids():
             recorded = set(self.ert_for(pid).entries())
             expected = actual_ert.get(pid, set())
+            if self.remote_ert_expected is not None:
+                expected = expected | set(self.remote_ert_expected(pid))
             for child, parent in expected - recorded:
                 report.ert_missing.append((pid, child, parent))
             for child, parent in recorded - expected:

@@ -21,3 +21,21 @@ class ReferenceProtocolError(EngineError):
 
 class ReorganizationError(EngineError):
     """The reorganizer hit an unrecoverable condition."""
+
+
+class NodeUnreachableError(EngineError):
+    """A cross-node operation exhausted its retries without an answer.
+
+    Raised by the distributed layer (:mod:`repro.dist`) when a remote
+    node is partitioned away, crashed, or dropping messages past the
+    RPC deadline/retry budget.  Typed so callers can tell "the remote
+    node is gone" from a local failure: the serving layer retries or
+    sheds such requests; the distributed reorganizer pauses until the
+    failure detector reports the peer alive again.
+
+    ``node`` is the unreachable node's id when known.
+    """
+
+    def __init__(self, message: str, node: int = -1):
+        super().__init__(message)
+        self.node = node

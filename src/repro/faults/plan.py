@@ -72,6 +72,20 @@ class FaultPlan:
       write that was in flight as a torn fragment (cut or bit-flipped)
       to the surviving log stream.
 
+    Distributed faults (meaningful only when the plan is armed on a
+    :class:`repro.dist.DistCluster` via
+    :func:`repro.dist.chaos.arm_fault_plan`; ignored by the single-node
+    injector):
+
+    * ``kill_node`` — ``(node_id, at_ms, down_ms)``: fail-stop one
+      cluster node at the given simulated time and restart it from its
+      crash image ``down_ms`` later.
+    * ``partition_link`` — ``(a, b, cut_ms, heal_ms)``: sever the
+      bidirectional link between nodes ``a`` and ``b`` for the window.
+    * ``message_drop_rate`` / ``message_drop_window_ms`` — interconnect
+      message loss: per-message drop probability from the link's seeded
+      RNG, active during the window.
+
     ``seed`` feeds every probabilistic draw; crash/kill triggers are not
     probabilistic at all.
     """
@@ -90,6 +104,10 @@ class FaultPlan:
     bit_flip_at_ms: Optional[float] = None
     bit_flip_target: str = "durable"
     torn_log_tail: bool = False
+    kill_node: Optional[Tuple[int, float, float]] = None
+    partition_link: Optional[Tuple[int, int, float, float]] = None
+    message_drop_rate: float = 0.0
+    message_drop_window_ms: Tuple[float, float] = ALWAYS
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.io_error_rate <= 1.0:
@@ -110,12 +128,32 @@ class FaultPlan:
             raise ValueError(
                 f"bit_flip_target={self.bit_flip_target!r} must be "
                 f"'durable' or 'live'")
+        if not 0.0 <= self.message_drop_rate <= 1.0:
+            raise ValueError(
+                f"message_drop_rate={self.message_drop_rate} not in [0, 1]")
+        if self.kill_node is not None:
+            node_id, at_ms, down_ms = self.kill_node
+            if node_id < 0 or at_ms < 0 or down_ms <= 0:
+                raise ValueError(f"kill_node={self.kill_node} malformed")
+        if self.partition_link is not None:
+            a, b, cut_ms, heal_ms = self.partition_link
+            if a == b:
+                raise ValueError("partition_link endpoints must differ")
+            if cut_ms < 0 or heal_ms <= cut_ms:
+                raise ValueError(
+                    f"partition_link window ({cut_ms}, {heal_ms}) malformed")
 
     @property
     def wants_crash(self) -> bool:
         return (self.crash_at_ms is not None
                 or self.crash_at_lsn is not None
                 or self.crash_at_page_write is not None)
+
+    @property
+    def wants_dist(self) -> bool:
+        return (self.kill_node is not None
+                or self.partition_link is not None
+                or self.message_drop_rate > 0.0)
 
     @property
     def wants_corruption(self) -> bool:
@@ -155,3 +193,13 @@ class FaultPlan:
     def tear_checkpoint(cls, nth: int, crash_ms: float,
                         seed: int = 0) -> "FaultPlan":
         return cls(seed=seed, torn_page_write=nth, crash_at_ms=crash_ms)
+
+    @classmethod
+    def kill_node_at(cls, node_id: int, ms: float, down_ms: float = 140.0,
+                     seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, kill_node=(node_id, ms, down_ms))
+
+    @classmethod
+    def cut_link(cls, a: int, b: int, ms: float, heal_ms: float,
+                 seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, partition_link=(a, b, ms, heal_ms))

@@ -28,6 +28,7 @@ import random
 from typing import Any, Generator, Optional
 
 from ..concurrency import LockTimeoutError
+from ..errors import NodeUnreachableError
 from ..config import ServeConfig, WorkloadConfig
 from ..sim import Delay
 from ..workload.metrics import TransactionRecord
@@ -163,24 +164,28 @@ class ServingLayer:
                  metrics: ServeMetrics) -> Generator[Any, Any, None]:
         sim = self.engine.sim
         cfg = self.serve
-        backoff_rng = random.Random(
-            f"{cfg.seed}/request-{request.request_id}")
+        policy = cfg.retry_policy()
+        backoff_rng = policy.rng(f"{cfg.seed}/request-{request.request_id}")
         while True:
             try:
                 yield from random_walk_transaction(
                     self.engine, self.layout, self.workload,
                     random.Random(request.txn_seed), request.partition_id)
                 break
-            except LockTimeoutError:
+            except (LockTimeoutError, NodeUnreachableError):
+                # Same retry path for both abort shapes: a lock timeout
+                # and an unreachable remote owner (a distributed read
+                # racing a peer's crash window) are transient; back off
+                # and re-run the transaction.
                 metrics.aborts += 1
                 request.retries += 1
-                if request.retries >= cfg.retry_budget:
+                if policy.exhausted(request.retries):
                     request.outcome = "retry-budget-exhausted"
                     metrics.retry_budget_exhausted += 1
                     return
                 # The driver's jitter: identical retries would otherwise
                 # re-collide in deterministic lockstep.
-                yield Delay(backoff_rng.uniform(1.0, 50.0))
+                yield Delay(policy.delay_ms(request.retries, backoff_rng))
         finished = sim.now
         request.outcome = "completed"
         if finished > request.response_deadline_ms:

@@ -17,6 +17,14 @@ takeover is an acquire over an expired lease of an older generation.
 Everything is sim-time; there are no wall clocks and no background
 threads — expiry is evaluated lazily at acquire/renew time, which is
 sufficient because only acquire attempts care whether a lease is dead.
+
+Boundary rule: a lease is live strictly *before* its expiry instant
+(``now < expires_ms``).  A heartbeat arriving at exactly ``expires_ms``
+is **expired** — the renewal fails and a same-timestamp acquire by
+another worker succeeds, in either dispatch order.  Defining the tie
+this way (rather than leaving it to event ordering) means the mutual-
+exclusion window never depends on how the kernel breaks a timestamp
+tie between a heartbeat and a takeover attempt.
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ class Lease:
     generation: int
 
     def live(self, now: float) -> bool:
+        """Strict inequality: at exactly ``expires_ms`` the lease is
+        dead, so a boundary-instant heartbeat loses to (and is
+        order-independent with) a boundary-instant takeover."""
         return now < self.expires_ms
 
 

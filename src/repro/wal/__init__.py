@@ -17,6 +17,9 @@ from .records import (
     PayloadUpdateRecord,
     RefUpdateRecord,
     ReorgProgressRecord,
+    TpcDecisionRecord,
+    TpcEndRecord,
+    TpcPrepareRecord,
     decode_record,
 )
 from .recovery import RecoveryManager, RecoveryStats
@@ -39,6 +42,9 @@ __all__ = [
     "RefUpdateRecord",
     "ReorgProgressRecord",
     "SnapshotStore",
+    "TpcDecisionRecord",
+    "TpcEndRecord",
+    "TpcPrepareRecord",
     "apply_record",
     "decode_record",
     "frame_record",

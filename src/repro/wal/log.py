@@ -30,6 +30,7 @@ import struct
 import zlib
 from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
 
+from ..config import RetryPolicy
 from ..sim import Delay, Resource, Simulator
 from ..storage.errors import LogCorruptionError, TransientIOError
 from .records import LogRecord, decode_record
@@ -96,6 +97,8 @@ class LogManager:
         self.flush_time_ms = flush_time_ms
         self.io_retry_limit = io_retry_limit
         self.io_retry_backoff_ms = io_retry_backoff_ms
+        self.retry_policy = RetryPolicy.exponential(
+            base_ms=io_retry_backoff_ms, max_retries=io_retry_limit)
         self.fault_hook: Optional[FlushFaultHook] = None
         self._encoded: List[bytes] = []   # the byte stream, by LSN - 1
         self._flushed_lsn = 0
@@ -174,10 +177,10 @@ class LogManager:
                     break
                 except TransientIOError:
                     self.io_faults += 1
-                    if attempt >= self.io_retry_limit:
+                    if self.retry_policy.exhausted(attempt):
                         raise
                     self.io_retries += 1
-                    yield Delay(self.io_retry_backoff_ms * (2 ** attempt))
+                    yield Delay(self.retry_policy.delay_ms(attempt))
             self._flushed_lsn = max(self._flushed_lsn, write_point)
             self.flush_count += 1
         finally:

@@ -43,6 +43,9 @@ KIND_REF_UPDATE = 8
 KIND_CLR = 9
 KIND_CHECKPOINT = 10
 KIND_REORG_PROGRESS = 11
+KIND_TPC_PREPARE = 12
+KIND_TPC_DECISION = 13
+KIND_TPC_END = 14
 
 #: BEGIN flag: the transaction is a system transaction (reorganizer /
 #: utility).  The log analyzer maintains the ERT for system transactions
@@ -286,6 +289,63 @@ class ReorgProgressRecord(LogRecord):
                 + _pack_bytes(self.state))
 
 
+@dataclass(unsafe_hash=True)
+class TpcPrepareRecord(LogRecord):
+    """Participant branch of global transaction ``gid`` voted YES.
+
+    Force-logged (presumed-abort 2PC) after the participant applied and
+    WAL-logged its share of the reference patch, *before* the vote goes
+    on the wire.  A crash leaves the branch **in-doubt**: analysis must
+    neither commit nor undo it — the patched pages stay locked until the
+    coordinator (``coordinator`` node id) resolves ``gid``.
+    """
+
+    gid: str = ""
+    coordinator: int = 0
+    kind: int = KIND_TPC_PREPARE
+
+    def _encode_body(self) -> bytes:
+        return (_pack_bytes(self.gid.encode("utf-8"))
+                + _U16.pack(self.coordinator))
+
+
+@dataclass(unsafe_hash=True)
+class TpcDecisionRecord(LogRecord):
+    """Coordinator's durable decision for global transaction ``gid``.
+
+    ``commit=True`` is the global commit point; it is force-logged
+    before any COMMIT goes to a participant.  Under presumed abort an
+    abort decision need not be durable — a coordinator with no decision
+    record for ``gid`` answers "abort" — but one is still logged on the
+    explicit-abort path so the failure matrix is auditable.  Analysis
+    treats a durable commit decision as committing the coordinator's
+    local branch even if the crash beat the branch's own COMMIT record
+    into the log (the decision *is* the commit point).
+    """
+
+    gid: str = ""
+    commit: bool = False
+    kind: int = KIND_TPC_DECISION
+
+    def _encode_body(self) -> bytes:
+        return (_pack_bytes(self.gid.encode("utf-8"))
+                + _U8.pack(1 if self.commit else 0))
+
+
+@dataclass(unsafe_hash=True)
+class TpcEndRecord(LogRecord):
+    """All participants acked the decision for ``gid``; the coordinator
+    forgets the global transaction.  Lazy (never force-logged): losing
+    it only costs a recovered coordinator a redundant resolution answer.
+    """
+
+    gid: str = ""
+    kind: int = KIND_TPC_END
+
+    def _encode_body(self) -> bytes:
+        return _pack_bytes(self.gid.encode("utf-8"))
+
+
 def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
     """Decode one encoded record (inverse of ``LogRecord.encode``).
 
@@ -374,6 +434,19 @@ def _decode_record(data: bytes, lsn: int) -> LogRecord:
                                      partition_id=partition_id,
                                      algorithm=algorithm.decode("utf-8"),
                                      state=state)
+    elif kind == KIND_TPC_PREPARE:
+        gid, offset = _unpack_bytes(data, offset)
+        (coordinator,) = _U16.unpack_from(data, offset)
+        record = TpcPrepareRecord(tid, prev_lsn, gid=gid.decode("utf-8"),
+                                  coordinator=coordinator)
+    elif kind == KIND_TPC_DECISION:
+        gid, offset = _unpack_bytes(data, offset)
+        (flag,) = _U8.unpack_from(data, offset)
+        record = TpcDecisionRecord(tid, prev_lsn, gid=gid.decode("utf-8"),
+                                   commit=bool(flag))
+    elif kind == KIND_TPC_END:
+        gid, offset = _unpack_bytes(data, offset)
+        record = TpcEndRecord(tid, prev_lsn, gid=gid.decode("utf-8"))
     else:
         raise LogCorruptionError(f"unknown log record kind {kind}")
     return record.with_lsn(lsn)

@@ -30,6 +30,8 @@ from .records import (
     EndRecord,
     LogRecord,
     PHYSICAL_KINDS,
+    TpcDecisionRecord,
+    TpcPrepareRecord,
 )
 
 ReplayHook = Callable[[LogRecord], None]
@@ -54,6 +56,12 @@ class RecoveryStats:
     #: :meth:`LogManager.from_durable` truncated.
     log_tail_truncated: bool = False
     log_tail_problem: Optional[str] = None
+    #: Participant branches of presumed-abort 2PC transactions that were
+    #: prepared (durable ``TPC_PREPARE``) but undecided at the crash:
+    #: tid → the prepare record (carrying the gid and coordinator node).
+    #: Redone, **not** undone — the patched pages stay blocked until the
+    #: coordinator resolves the global transaction.
+    in_doubt_txns: Dict[int, TpcPrepareRecord] = field(default_factory=dict)
 
 
 class RecoveryManager:
@@ -166,6 +174,8 @@ class RecoveryManager:
         last_lsn: Dict[int, int] = dict(seed_txns)
         committed: Set[int] = set()
         ended: Set[int] = set()
+        aborted: Set[int] = set()
+        prepared: Dict[int, TpcPrepareRecord] = {}
         for record in self.log.records(from_lsn=checkpoint_lsn + 1):
             self.stats.records_analyzed += 1
             if record.tid == 0:
@@ -178,10 +188,30 @@ class RecoveryManager:
             elif isinstance(record, EndRecord):
                 ended.add(record.tid)
                 last_lsn.pop(record.tid, None)
-            else:
+            elif isinstance(record, TpcPrepareRecord):
+                prepared[record.tid] = record
                 last_lsn[record.tid] = record.lsn
+            elif isinstance(record, TpcDecisionRecord):
+                # The durable commit decision IS the commit point of the
+                # coordinator's local branch (presumed abort): honor it
+                # even if the crash beat the branch's own COMMIT record.
+                if record.commit:
+                    committed.add(record.tid)
+                last_lsn[record.tid] = record.lsn
+            else:
+                if isinstance(record, AbortRecord):
+                    aborted.add(record.tid)
+                last_lsn[record.tid] = record.lsn
+        # A prepared branch with no durable decision is in-doubt: neither
+        # undone (the coordinator may have committed globally) nor
+        # committed (it may answer "abort").  A branch whose rollback
+        # already logged ABORT lost its doubt — the decision was abort.
+        in_doubt = {tid: rec for tid, rec in prepared.items()
+                    if tid in last_lsn and tid not in committed
+                    and tid not in aborted}
+        self.stats.in_doubt_txns = in_doubt
         losers = {tid: lsn for tid, lsn in last_lsn.items()
-                  if tid not in committed}
+                  if tid not in committed and tid not in in_doubt}
         winners = committed | ended
         return losers, winners
 

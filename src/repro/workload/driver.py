@@ -23,7 +23,7 @@ from typing import Any, Generator, Optional
 
 from ..concurrency import LockTimeoutError
 from ..sim import Delay
-from ..config import ExperimentConfig
+from ..config import ExperimentConfig, RetryPolicy
 from .graphgen import GraphLayout
 from .metrics import ExperimentMetrics, TransactionRecord
 from .transactions import random_walk_transaction
@@ -121,7 +121,12 @@ class WorkloadDriver:
     def _thread_process(self, thread_id: int,
                         metrics: ExperimentMetrics
                         ) -> Generator[Any, Any, None]:
-        thread_rng = random.Random(f"{self.config.seed}/thread-{thread_id}")
+        # Unbounded retries: a closed-loop thread never gives a logical
+        # transaction up.  The policy's draws come from ``thread_rng``,
+        # which is shared with the per-transaction seed draws — the
+        # interleaving is part of the seeded runs' byte-identity.
+        policy = RetryPolicy.uniform(max_retries=None)
+        thread_rng = RetryPolicy.rng(f"{self.config.seed}/thread-{thread_id}")
         home = 1 + thread_id % self.config.num_partitions
         while not self._stop:
             started = self.engine.sim.now
@@ -145,7 +150,7 @@ class WorkloadDriver:
                     # deadlocking on identical walks would otherwise repeat
                     # the same collision in deterministic lockstep forever
                     # (a real system's scheduler provides this jitter).
-                    yield Delay(thread_rng.uniform(1.0, 50.0))
+                    yield Delay(policy.delay_ms(retries, thread_rng))
             metrics.records.append(TransactionRecord(
                 thread_id=thread_id,
                 started_ms=started - self._start_ms,

@@ -1,0 +1,92 @@
+"""Interconnect unit tests: delay, determinism, faults at every stage."""
+
+from repro.dist.net import Interconnect
+from repro.sim import Simulator
+
+
+def _wired(seed=0, **kwargs):
+    sim = Simulator()
+    net = Interconnect(sim, seed=seed, **kwargs)
+    inboxes = {0: [], 1: [], 2: []}
+    for node_id in inboxes:
+        net.register(node_id, lambda msg, n=node_id: inboxes[n].append(msg))
+    return sim, net, inboxes
+
+
+def test_delivery_is_delayed_within_the_link_window():
+    sim, net, inboxes = _wired(delay_min_ms=1.0, delay_max_ms=5.0)
+    net.send(0, 1, {"n": 1})
+    assert inboxes[1] == []          # nothing delivered synchronously
+    sim.run(until=0.9)
+    assert inboxes[1] == []
+    sim.run(until=5.1)
+    assert inboxes[1] == [{"n": 1}]
+    assert net.stats.sent == 1 and net.stats.delivered == 1
+
+
+def test_per_link_delays_are_deterministic_per_seed():
+    def trace(seed):
+        sim, net, inboxes = _wired(seed=seed)
+        for n in range(20):
+            net.send(0, 1, {"n": n})
+            net.send(1, 2, {"n": n})
+        sim.run()
+        return [m["n"] for m in inboxes[1]], [m["n"] for m in inboxes[2]]
+
+    assert trace(7) == trace(7)
+    assert trace(7) != trace(8)
+
+
+def test_same_link_messages_can_reorder_within_jitter():
+    sim, net, inboxes = _wired(delay_min_ms=0.5, delay_max_ms=10.0)
+    for n in range(40):
+        net.send(0, 1, {"n": n})
+    sim.run()
+    arrived = [m["n"] for m in inboxes[1]]
+    assert sorted(arrived) == list(range(40))
+    assert arrived != list(range(40))    # at least one overtake
+
+
+def test_partition_drops_at_send_and_in_flight():
+    sim, net, inboxes = _wired()
+    net.send(0, 1, {"n": "in-flight"})   # scheduled, then the cut lands
+    net.partition_link(0, 1)
+    net.send(0, 1, {"n": "at-send"})
+    net.send(1, 0, {"n": "reverse"})     # cut is bidirectional
+    sim.run()
+    assert inboxes[1] == [] and inboxes[0] == []
+    assert net.stats.dropped_partition == 3
+    net.heal_link(0, 1)
+    net.send(0, 1, {"n": "healed"})
+    sim.run()
+    assert inboxes[1] == [{"n": "healed"}]
+
+
+def test_down_node_neither_sends_nor_receives():
+    sim, net, inboxes = _wired()
+    net.send(0, 1, {"n": "pre"})         # in flight when node 1 dies
+    net.set_down(1, True)
+    net.send(0, 1, {"n": "to-corpse"})
+    net.send(1, 0, {"n": "from-corpse"})
+    sim.run()
+    assert inboxes[1] == [] and inboxes[0] == []
+    assert net.stats.dropped_down == 3
+    net.set_down(1, False)
+    net.send(0, 1, {"n": "post"})
+    sim.run()
+    assert inboxes[1] == [{"n": "post"}]
+
+
+def test_loss_rate_drops_a_seeded_fraction():
+    sim, net, inboxes = _wired(seed=3)
+    net.set_loss(0.5)
+    for n in range(200):
+        net.send(0, 1, {"n": n})
+    sim.run()
+    assert 0 < net.stats.dropped_loss < 200
+    assert len(inboxes[1]) == 200 - net.stats.dropped_loss
+    net.set_loss(0.0)
+    before = len(inboxes[1])
+    net.send(0, 1, {"n": "sure"})
+    sim.run()
+    assert len(inboxes[1]) == before + 1

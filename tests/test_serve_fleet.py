@@ -56,6 +56,54 @@ def test_lease_expiry_enables_takeover_with_generation_bump():
     assert table.refusals == 1
 
 
+def test_lease_boundary_heartbeat_at_exact_expiry_is_expired():
+    """At exactly ``expires_ms`` the lease is dead: the boundary
+    heartbeat fails and a boundary acquire succeeds — the tie-break is
+    defined, not left to event ordering."""
+    sim = Simulator()
+    table = LeaseTable(sim, lease_ms=100.0)
+    table.acquire(1, "w0")
+
+    def proc():
+        yield Delay(100.0)                     # now == expires_ms exactly
+        assert table.holder(1) is None
+        assert not table.renew(1, "w0")        # boundary heartbeat: expired
+        lease = table.acquire(1, "w1")         # boundary takeover: succeeds
+        assert lease is not None and lease.generation == 2
+
+    sim.run_process(proc())
+    assert table.takeovers == 1
+
+
+@pytest.mark.parametrize("renew_first", [True, False])
+def test_lease_boundary_outcome_is_dispatch_order_independent(renew_first):
+    """Same-timestamp heartbeat vs takeover at the expiry instant ends
+    in the same state regardless of which event dispatches first."""
+    sim = Simulator()
+    table = LeaseTable(sim, lease_ms=100.0)
+    table.acquire(1, "w0")
+    outcomes = {}
+
+    def heartbeat():
+        yield Delay(100.0)
+        outcomes["renewed"] = table.renew(1, "w0")
+
+    def takeover():
+        yield Delay(100.0)
+        outcomes["acquired"] = table.acquire(1, "w1") is not None
+
+    # Spawn order decides same-timestamp dispatch order in the kernel.
+    if renew_first:
+        sim.spawn(heartbeat(), name="heartbeat")
+        sim.spawn(takeover(), name="takeover")
+    else:
+        sim.spawn(takeover(), name="takeover")
+        sim.spawn(heartbeat(), name="heartbeat")
+    sim.run()
+    assert outcomes == {"renewed": False, "acquired": True}
+    assert table.holder(1) == "w1"
+
+
 # -- the fleet ----------------------------------------------------------------
 
 def _build():
@@ -127,6 +175,40 @@ def test_chaos_kill_before_first_checkpoint_restarts_cleanly(kill_at):
     assert sorted(fleet.completed) == [1, 2]
     assert db.verify_integrity().ok
     assert graph_signature(db.engine) == graph_signature(twin_db.engine)
+
+
+def test_scrubber_stays_clean_through_chaos_kill_takeover():
+    """A background scrubber sweeps every page while worker-0 is
+    chaos-killed mid-IRA and the survivor takes the partition over.
+    Pages in flux during migration, takeover and orphan reaping must
+    never read as corruption, and the scrubber must keep completing
+    sweeps throughout — no false positives, no wedging."""
+    from repro.storage.scrub import Scrubber
+
+    db, layout = _build()
+    engine = db.engine
+    scrubber = Scrubber(engine, interval_ms=15.0, pages_per_sweep=6)
+    engine.sim.spawn(scrubber.run(), name="scrubber")
+    fleet = ReorgFleet(engine, [1, 2],
+                       FleetConfig(workers=2, lease_ms=200.0,
+                                   heartbeat_ms=40.0),
+                       layout=layout)
+    fleet.spawn()
+    engine.sim.call_later(
+        300.0, lambda: engine.sim.kill_matching("reorg-worker-0"))
+    while not fleet.done and engine.sim.now < 60_000.0:
+        engine.sim.run(until=engine.sim.now + 500.0)
+    assert fleet.done, "fleet wedged before the horizon"
+    assert fleet.leases.takeovers == 1
+    sweeps_during = scrubber.stats.sweeps_completed
+    assert sweeps_during >= 1, "scrubber never finished a sweep under chaos"
+    # One more full pass over the post-reorganization layout.
+    engine.sim.run(until=engine.sim.now + 2_000.0)
+    scrubber.stop()
+    assert scrubber.stats.sweeps_completed > sweeps_during
+    assert scrubber.stats.clean, scrubber.stats.findings
+    assert sorted(fleet.completed) == [1, 2]
+    assert db.verify_integrity().ok
 
 
 def test_no_concurrent_ownership_during_takeover():

@@ -127,3 +127,16 @@ def test_payload_update_roundtrip_property(tid, prev, oid, offset,
                                         before=before, after=after))
     assert (rec.oid, rec.offset, rec.before, rec.after) == \
         (oid, offset, before, after)
+
+
+def test_tpc_records_roundtrip():
+    from repro.wal import TpcDecisionRecord, TpcEndRecord, TpcPrepareRecord
+    prep = roundtrip(TpcPrepareRecord(9, 40, gid="n0/t9/m3", coordinator=2))
+    assert isinstance(prep, TpcPrepareRecord)
+    assert (prep.gid, prep.coordinator, prep.tid, prep.prev_lsn) == \
+        ("n0/t9/m3", 2, 9, 40)
+    yes = roundtrip(TpcDecisionRecord(4, 10, gid="g", commit=True))
+    no = roundtrip(TpcDecisionRecord(4, 10, gid="g", commit=False))
+    assert yes.commit and not no.commit
+    end = roundtrip(TpcEndRecord(4, 11, gid="g"))
+    assert end.gid == "g"

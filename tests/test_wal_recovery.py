@@ -215,3 +215,75 @@ def test_delete_object_undo_recreates_it():
 
     recovered = StorageEngine.recover(eng.crash())
     assert recovered.store.read_object(oid).payload == b"alive"
+
+
+# -- presumed-abort 2PC branches (repro.dist) ---------------------------------
+
+def test_prepared_but_undecided_branch_is_in_doubt():
+    """A participant branch with a durable TPC_PREPARE and no decision is
+    redone, NOT undone, and reported as in-doubt."""
+    from repro.wal import TpcPrepareRecord
+    eng = fresh_engine()
+
+    def prepared():
+        txn = eng.txns.begin(system=True)
+        oid = yield from txn.create_object(1, make_object(payload=b"patch"))
+        txn._log(TpcPrepareRecord(txn.tid, txn.last_lsn,
+                                  gid="n1/g7", coordinator=0))
+        eng.log.flush_now()
+        return txn.tid, oid
+    tid, oid = run(eng, prepared())
+
+    recovered = StorageEngine.recover(eng.crash())
+    stats = recovered.recovery_stats
+    assert list(stats.in_doubt_txns) == [tid]
+    assert stats.in_doubt_txns[tid].gid == "n1/g7"
+    assert stats.in_doubt_txns[tid].coordinator == 0
+    assert tid not in stats.loser_txns
+    assert stats.clrs_written == 0
+    assert recovered.store.exists(oid)          # redone, blocked, not undone
+
+
+def test_prepared_then_aborted_branch_is_not_in_doubt():
+    """ABORT after PREPARE resolves the doubt: the branch rolls back."""
+    from repro.wal import TpcPrepareRecord
+    eng = fresh_engine()
+
+    def prepared_then_aborted():
+        txn = eng.txns.begin(system=True)
+        oid = yield from txn.create_object(1, make_object(payload=b"gone"))
+        txn._log(TpcPrepareRecord(txn.tid, txn.last_lsn,
+                                  gid="n1/g8", coordinator=0))
+        yield from txn.abort(reason="coordinator-said-no")
+        eng.log.flush_now()
+        return txn.tid, oid
+    tid, oid = run(eng, prepared_then_aborted())
+
+    recovered = StorageEngine.recover(eng.crash())
+    assert recovered.recovery_stats.in_doubt_txns == {}
+    assert not recovered.store.exists(oid)
+
+
+def test_durable_commit_decision_commits_coordinator_branch():
+    """The commit decision record is the global commit point: it carries
+    the coordinator's local branch even when the crash beat the branch's
+    own COMMIT record into the log."""
+    from repro.wal import TpcDecisionRecord
+    eng = fresh_engine()
+
+    def coordinator():
+        txn = eng.txns.begin(system=True)
+        oid = yield from txn.create_object(1, make_object(payload=b"kept"))
+        txn._log(TpcDecisionRecord(txn.tid, txn.last_lsn,
+                                   gid="n0/g9", commit=True))
+        eng.log.flush_now()
+        # ... crash before the local COMMIT record is appended
+        return txn.tid, oid
+    tid, oid = run(eng, coordinator())
+
+    recovered = StorageEngine.recover(eng.crash())
+    stats = recovered.recovery_stats
+    assert tid not in stats.loser_txns
+    assert stats.in_doubt_txns == {}
+    assert recovered.store.exists(oid)
+    assert recovered.store.read_object(oid).payload == b"kept"
