@@ -118,10 +118,11 @@ def run_point(algorithm: str, workload: WorkloadConfig,
               system: Optional[SystemConfig] = None,
               reorg_config: Optional[ReorgConfig] = None,
               horizon_ms: Optional[float] = None,
-              plan_factory=CompactionPlan) -> BenchPoint:
+              plan_factory=CompactionPlan,
+              driver_cls=WorkloadDriver) -> BenchPoint:
     """Run one experiment on a freshly built database."""
     db, layout = Database.with_workload(workload, system=system)
-    driver = WorkloadDriver(
+    driver = driver_cls(
         db.engine, layout,
         ExperimentConfig(workload=workload, system=system or SystemConfig()))
     if algorithm == "nr":

@@ -150,6 +150,12 @@ def _bench_figure(args, workload):
             args.scale,
             progress=lambda line: print(f"  {line}", file=sys.stderr))
         return format_dist(rows), dist_payload(rows)
+    if args.experiment == "mvcc":
+        from .mvcc.bench import format_mvcc, run_mvcc_experiment
+        points = run_mvcc_experiment(
+            args.scale,
+            progress=lambda line: print(f"  {line}", file=sys.stderr))
+        return format_mvcc(points), figure_payload(points, 0.0)
     if args.experiment == "scale":
         from .serve.bench import SCALE_ARMS, format_scale, run_scale_experiment
         rows = run_scale_experiment(
@@ -526,7 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiment",
                        choices=["table2", "mpl", "partition-size",
                                 "update-prob", "clustering", "scale",
-                                "dist"])
+                                "dist", "mvcc"])
     bench.add_argument("--profile", type=int, nargs="?", const=25,
                        default=0, metavar="N",
                        help="run under cProfile and print the top N "
@@ -623,7 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="systematic deviations per schedule "
                               "(default 2)")
     explore.add_argument("--algorithm", default=None,
-                         choices=["ira", "ira-2lock"],
+                         choices=["ira", "ira-2lock", "mvcc"],
                          help="default: ira, or the --mutation's target "
                               "algorithm")
     explore.add_argument("--partitions", type=int, default=2)

@@ -395,6 +395,36 @@ class DistConfig:
 
 
 @dataclass
+class MvccConfig:
+    """Multi-version read tier (:mod:`repro.mvcc`) knobs."""
+
+    #: First-committer-wins retries per logical transaction before the
+    #: caller gives the walk up (the serving layer has its own budget).
+    max_write_conflict_retries: int = 8
+    #: Uniform backoff range between conflict retries (ms).
+    conflict_backoff_low_ms: float = 1.0
+    conflict_backoff_high_ms: float = 25.0
+    #: The merge consolidates a partition's tail versions into this many
+    #: new base objects per CPU yield (pure pacing — the install itself
+    #: is one atomic system transaction regardless).
+    merge_batch_size: int = 16
+    #: Run epoch GC (prune chains + free superseded bases below the
+    #: oldest active snapshot) every N commits (0 = only explicit calls).
+    gc_every_commits: int = 32
+    #: Keep the full commit log for the snapshot-isolation oracle (the
+    #: explorer turns this on; benches leave it off to bound memory).
+    record_history: bool = False
+
+    def conflict_retry_policy(self) -> RetryPolicy:
+        return RetryPolicy.uniform(low_ms=self.conflict_backoff_low_ms,
+                                   high_ms=self.conflict_backoff_high_ms,
+                                   max_retries=self.max_write_conflict_retries)
+
+    def copy(self, **overrides) -> "MvccConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
 class ExperimentConfig:
     """One performance-experiment run (driver settings)."""
 

@@ -25,6 +25,7 @@ from .core import (
     TwoLockReorganizer,
 )
 from .engine import CrashImage, IntegrityReport, StorageEngine
+from .mvcc import MergeReorganizer
 from .sim import Simulator
 from .storage import ObjectImage, Oid, PartitionStats
 from .txn import Transaction
@@ -36,6 +37,7 @@ REORGANIZERS: Dict[str, Callable] = {
     "ira-2lock": TwoLockReorganizer,
     "pqr": PartitionQuiesceReorganizer,
     "offline": OfflineReorganizer,
+    "mvcc-merge": MergeReorganizer,
 }
 
 

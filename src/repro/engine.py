@@ -118,6 +118,11 @@ class StorageEngine:
         #: Access-history recorder (``repro.explore.history.HistoryRecorder``)
         #: fed by Transaction/TransactionManager when installed.
         self.history = None
+        #: Attached :class:`repro.mvcc.MvccTier` (versioned read path);
+        #: ``None`` keeps the classic 2PL-only engine.  Set by
+        #: ``MvccTier.attach``/``recover`` — engine restart does *not*
+        #: carry it over, recovery paths rebuild it explicitly.
+        self.mvcc = None
         #: Clustering tracer (``repro.cluster.ClusterTracer``) fed by
         #: user transactions when installed; ``None`` costs nothing and
         #: tracing itself never perturbs the simulation.
@@ -319,6 +324,7 @@ class StorageEngine:
             (checkpoint_payload or {}).get("unlogged_base", False))
         engine.checkpoint_hook = None
         engine.history = None
+        engine.mvcc = None
         engine.tracer = None
         engine.remote_resolver = None
         engine.remote_ert_expected = None
@@ -329,13 +335,24 @@ class StorageEngine:
 
     def verify_integrity(self) -> IntegrityReport:
         """Full sweep: no dangling physical references; every ERT holds
-        exactly the cross-partition references into its partition."""
+        exactly the cross-partition references into its partition.
+
+        With an MVCC tier attached, reference slots hold *logical* OIDs
+        and are resolved through the lineage map before the existence
+        check; the ERT comparison is skipped, because under lineage
+        indirection relocation never patches parents and the reference
+        tables exist only for the 2PL reorganizers' benefit.
+        """
         report = IntegrityReport()
+        lineage = (self.mvcc.resolve_physical if self.mvcc is not None
+                   else None)
         actual_ert: Dict[int, set] = {pid: set()
                                       for pid in self.store.partition_ids()}
         for parent in self.store.all_live_oids():
             image = self.store.read_object(parent)
             for slot, child in image.refs():
+                if lineage is not None:
+                    child = lineage(child)
                 if not self.store.exists(child):
                     # A reference into a partition this store does not
                     # hold is cross-node: ask the cluster directory (the
@@ -350,6 +367,8 @@ class StorageEngine:
                     report.dangling_refs.append((parent, slot, child))
                 elif child.partition != parent.partition:
                     actual_ert[child.partition].add((child, parent))
+        if lineage is not None:
+            return report
         for pid in self.store.partition_ids():
             recorded = set(self.ert_for(pid).entries())
             expected = actual_ert.get(pid, set())

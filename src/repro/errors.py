@@ -23,6 +23,23 @@ class ReorganizationError(EngineError):
     """The reorganizer hit an unrecoverable condition."""
 
 
+class WriteConflictError(EngineError):
+    """First-committer-wins validation failed (:mod:`repro.mvcc`).
+
+    A snapshot transaction tried to commit a write to an object that
+    another transaction committed a newer version of after this one's
+    begin timestamp.  The transaction's buffered writes are discarded;
+    callers retry the whole logical transaction on a fresh snapshot,
+    exactly as the serving layer retries a 2PL lock timeout.
+
+    ``oid`` is the first conflicting logical object when known.
+    """
+
+    def __init__(self, message: str, oid=None):
+        super().__init__(message)
+        self.oid = oid
+
+
 class NodeUnreachableError(EngineError):
     """A cross-node operation exhausted its retries without an answer.
 

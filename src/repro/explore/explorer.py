@@ -92,6 +92,9 @@ def run_schedule(policy: TracingPolicy,
                  horizon_ms: float = DEFAULT_HORIZON_MS) -> ScheduleResult:
     """Run one schedule under ``policy`` and judge it with every oracle."""
     workload = workload or default_workload()
+    if algorithm == "mvcc":
+        return _run_mvcc_schedule(policy, workload, reorg_partition,
+                                  mutation, horizon_ms)
     db, layout = Database.with_workload(workload)
     engine, sim = db.engine, db.sim
     history = HistoryRecorder(sim)
@@ -168,6 +171,102 @@ def run_schedule(policy: TracingPolicy,
         verdicts=verdicts,
         sim_end_ms=sim.now,
         committed=len(history.committed),
+        mutation=mutation.name if mutation is not None else None,
+        mutation_triggered=(mutation.triggered
+                            if mutation is not None else False),
+    )
+
+
+def _run_mvcc_schedule(policy: TracingPolicy, workload: WorkloadConfig,
+                       reorg_partition: int, mutation: Optional[Mutation],
+                       horizon_ms: float) -> ScheduleResult:
+    """One explored schedule of the MVCC arm: MPL snapshot-transaction
+    walk threads racing one merge reorganization, judged by the
+    snapshot-isolation oracle instead of the 2PL suite (there are no
+    locks to monitor and no migration mapping to translate through —
+    relocation is invisible at the logical layer by design)."""
+    import random
+
+    from ..config import MvccConfig
+    from ..errors import WriteConflictError
+    from ..mvcc import MergeReorganizer, MvccTier, mvcc_random_walk
+    from ..sim import Delay
+
+    db, layout = Database.with_workload(workload)
+    engine, sim = db.engine, db.sim
+    tier = MvccTier.attach(engine, MvccConfig(record_history=True))
+    reorg = MergeReorganizer(engine, reorg_partition, plan=CompactionPlan())
+    if mutation is not None:
+        mutation.install(engine, reorg)
+
+    state = {"closed": False}
+
+    def reorg_watch():
+        try:
+            yield from reorg.run()
+        finally:
+            state["closed"] = True
+
+    def thread_process(thread_id: int):
+        home = 1 + thread_id % (workload.num_partitions)
+        thread_rng = random.Random(f"{workload.seed}/mvcc-{thread_id}")
+        while not state["closed"]:
+            txn_seed = thread_rng.getrandbits(48)
+            while True:
+                try:
+                    yield from mvcc_random_walk(
+                        engine, layout, workload,
+                        random.Random(txn_seed), home)
+                    break
+                except WriteConflictError:
+                    # Same logical transaction, fresh snapshot — the 2PL
+                    # driver's deadlock-retry discipline, minus the locks.
+                    yield Delay(thread_rng.uniform(1.0, 25.0))
+
+    sim.spawn(reorg_watch(), name="reorganizer")
+    for thread_id in range(workload.mpl):
+        sim.spawn(thread_process(thread_id), name=f"thread-{thread_id}")
+
+    sim.set_policy(policy)
+    try:
+        sim.run(until=horizon_ms, raise_unhandled=False)
+    finally:
+        sim.set_policy(None)
+
+    hung = bool(sim._queue)
+    unhandled = [(proc.name, f"{type(exc).__name__}: {exc}")
+                 for proc, exc in sim._unhandled]
+    if hung or unhandled:
+        sim.kill_all()
+        _rollback_active(engine)
+
+    if mutation is not None:
+        mutation.post_run(engine, reorg)
+
+    from .oracles import check_mvcc_integrity, check_snapshot_isolation
+    now = sim.now
+    verdicts: List[OracleVerdict] = []
+    problems = check_snapshot_isolation(tier)
+    verdicts.append(OracleVerdict("snapshot_isolation", not problems, now,
+                                  problems))
+    problems = check_mvcc_integrity(engine)
+    verdicts.append(OracleVerdict("mvcc_integrity", not problems, now,
+                                  problems[:5]))
+    crashes = [f"{name}: {exc}" for name, exc in unhandled]
+    verdicts.append(OracleVerdict("no_crash", not crashes, now, crashes[:5]))
+    if hung:
+        verdicts.append(OracleVerdict(
+            "liveness", False, now,
+            [f"run still busy at the {horizon_ms:.0f}ms horizon"]))
+
+    return ScheduleResult(
+        trace=dict(policy.decisions),
+        trace_hash=policy.trace_hash(),
+        consultations=policy.consultations,
+        choice_points=len(policy.choice_points),
+        verdicts=verdicts,
+        sim_end_ms=now,
+        committed=tier.stats.commits,
         mutation=mutation.name if mutation is not None else None,
         mutation_triggered=(mutation.triggered
                             if mutation is not None else False),

@@ -28,6 +28,13 @@ The catalogue:
     After the run, a payload byte changes in the store without a log
     record — committed state that recovery cannot reproduce.
 
+``stale_snapshot_read`` (mvcc → ``snapshot_isolation``)
+    The tier's version lookup returns the entry *one below* the correct
+    one — the classic off-by-one in a timestamp-ordered chain search,
+    and exactly the failure a botched merge flip or an over-eager GC
+    would produce.  The database stays physically consistent; only the
+    snapshot-isolation oracle's read accounting can see it.
+
 Each mutation keeps a ``triggered`` flag so a test can tell "oracle
 missed the bug" apart from "the schedule never exercised the bug".
 """
@@ -196,7 +203,42 @@ class UnloggedPoke(Mutation):
                 return
 
 
+class StaleSnapshotRead(Mutation):
+    name = "stale_snapshot_read"
+    algorithm = "mvcc"
+    expected_oracle = "snapshot_isolation"
+    description = "version lookup returns one version older than visible"
+
+    def install(self, engine, reorg) -> None:
+        tier = engine.mvcc
+        original = tier.version_for
+        mutation = self
+
+        def stale(loid, ts):
+            entry = original(loid, ts)
+            chain = tier._chains[loid]
+            index = chain.index(entry)
+            if index >= 1:
+                older = chain[index - 1]
+                # Serve the stale version only when doing so cannot turn
+                # into a physical fault (a base sentinel whose object was
+                # already swept would crash the read instead of silently
+                # violating isolation, which is a different bug).
+                if not older.is_base or \
+                        engine.store.exists(older.physical):
+                    if not mutation.triggered:
+                        mutation.triggered = True
+                        mutation.detail = (
+                            f"served {loid} at {older.ts} instead of "
+                            f"{entry.ts} to snapshot {ts}")
+                    return older
+            return entry
+
+        tier.version_for = stale
+
+
 MUTATIONS: Dict[str, Type[Mutation]] = {
     cls.name: cls
-    for cls in (SkipParentPatch, ThirdReorgLock, DropTrtEntry, UnloggedPoke)
+    for cls in (SkipParentPatch, ThirdReorgLock, DropTrtEntry, UnloggedPoke,
+                StaleSnapshotRead)
 }

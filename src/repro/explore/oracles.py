@@ -274,6 +274,86 @@ def check_transparency(engine, initial_images: Dict, start_lsn: int,
     return problems
 
 
+# -- snapshot isolation (the MVCC tier's contract) ----------------------------
+
+def check_snapshot_isolation(tier) -> List[str]:
+    """Judge a finished MVCC run against snapshot isolation.
+
+    Works off the tier's own accounting (``record_history=True``): the
+    commit log (every commit's timestamp and write set, in commit
+    order), each snapshot transaction's ``(loid, seen_ts)`` read
+    footprint, and the GC audit trail.  Four checks:
+
+    1. **Monotone commits** — commit timestamps strictly increase.
+    2. **Consistent snapshots** — every read observed exactly the
+       newest version at or below its transaction's begin timestamp
+       (``0`` = the attach-time base).  A merge relocating an object
+       must not perturb this: the flip keeps each consolidated
+       version's original timestamp, so a reorganization that leaks
+       into what readers see shows up here.
+    3. **First-committer-wins** — no two committed transactions with
+       overlapping write sets have overlapping ``(begin, commit)``
+       intervals.
+    4. **GC safety** — every pruned version's successor was already
+       at or below the watermark when it was reclaimed (nothing any
+       live snapshot could still see ever went away).
+    """
+    problems: List[str] = []
+    ts_seq = [ts for ts, _ in tier.commit_log]
+    if ts_seq != sorted(set(ts_seq)):
+        problems.append(f"commit timestamps not strictly increasing: "
+                        f"{ts_seq[:10]}")
+    commits_by_oid: Dict = {}
+    for ts, writes in tier.commit_log:
+        for loid in writes:
+            commits_by_oid.setdefault(loid, []).append(ts)
+
+    stale = 0
+    for entry in tier.history:
+        for loid, seen_ts in entry.reads:
+            visible = [ts for ts in commits_by_oid.get(loid, [])
+                       if ts <= entry.begin_ts]
+            expected = max(visible) if visible else 0
+            if seen_ts != expected:
+                stale += 1
+                if stale <= 3:
+                    problems.append(
+                        f"snapshot at {entry.begin_ts} read {loid} at "
+                        f"version {seen_ts}, expected {expected}")
+    if stale > 3:
+        problems.append(f"... and {stale - 3} more stale reads")
+
+    for entry in tier.history:
+        if not entry.committed or entry.commit_ts is None:
+            continue
+        for loid in entry.writes:
+            clobbered = [ts for ts in commits_by_oid.get(loid, [])
+                         if entry.begin_ts < ts < entry.commit_ts]
+            if clobbered:
+                problems.append(
+                    f"lost update on {loid}: txn ({entry.begin_ts}, "
+                    f"{entry.commit_ts}] committed over version(s) "
+                    f"{clobbered}")
+
+    for loid, pruned_ts, successor_ts, watermark in tier.gc_log:
+        if successor_ts > watermark:
+            problems.append(
+                f"GC reclaimed {loid} version {pruned_ts} while its "
+                f"successor {successor_ts} was above the watermark "
+                f"{watermark}")
+    return problems
+
+
+def check_mvcc_integrity(engine) -> List[str]:
+    """Structural health of the tier plus the lineage-aware store sweep."""
+    tier = engine.mvcc
+    problems = list(tier.verify())
+    report = engine.verify_integrity()
+    if not report.ok:
+        problems.extend(report.problems()[:5])
+    return problems
+
+
 # -- recovery idempotence -----------------------------------------------------
 
 def check_recovery_idempotence(engine) -> List[str]:

@@ -1,0 +1,154 @@
+"""The MVCC benchmark: does reorganization still cost readers anything?
+
+``repro bench mvcc`` runs the §5.3 interference experiment across five
+arms on identical workloads (same seeds, same walk sequences):
+
+* ``nr``        — 2PL, no reorganization (the paper's baseline).
+* ``ira``       — 2PL under basic IRA.
+* ``ira-2lock`` — 2PL under two-lock IRA.
+* ``mvcc-nr``   — snapshot transactions, no reorganization.
+* ``mvcc``      — snapshot transactions under the merge reorganizer.
+
+The claim under test (ROADMAP item 2): the 2PL arms' tail response
+times degrade during reorganization because user transactions wait on
+the reorganizer's X locks, while the MVCC arm's reads are served from
+versioned images and its p99 during a merge stays within a few percent
+of its own no-reorg baseline.  The committed ``BENCH_8.json`` gates
+exactly that ordering in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..bench.harness import (
+    BenchPoint,
+    SCALES,
+    base_workload,
+    bench_scale,
+    run_point,
+)
+from ..config import ExperimentConfig, MvccConfig, WorkloadConfig
+from ..core import CompactionPlan
+from ..database import Database
+from ..concurrency import LockTimeoutError
+from ..errors import WriteConflictError
+from ..storage import NoSuchObjectError
+from ..workload import WorkloadDriver
+from .merge import MergeReorganizer
+from .versions import MvccTier
+from .workload import mvcc_random_walk
+
+#: Arm order of the figure payload (and the rendered table).
+MVCC_ARMS = ("nr", "ira", "ira-2lock", "mvcc-nr", "mvcc")
+
+
+class TwoLockBenchDriver(WorkloadDriver):
+    """2PL driver that also retries §4.2 stale-address reads.
+
+    Under two-lock IRA a walk can queue on an old address's lock and be
+    granted it only after the migration freed the slot; the walk aborts
+    with ``NoSuchObjectError`` and the retry (same seed) re-reads the
+    now-patched parent.  The retry latency is charged to the arm — it is
+    part of the two-lock reorganization tax.
+    """
+
+    retry_on = (LockTimeoutError, NoSuchObjectError)
+
+
+class MvccWorkloadDriver(WorkloadDriver):
+    """The closed-loop driver over snapshot transactions: same seeding
+    and retry discipline, different transaction API and abort shape."""
+
+    walk_fn = staticmethod(mvcc_random_walk)
+    retry_on = (WriteConflictError,)
+
+
+def run_mvcc_point(workload: WorkloadConfig, reorganize: bool = True,
+                   horizon_ms: Optional[float] = None) -> BenchPoint:
+    """One MVCC experiment on a freshly built, tier-attached database."""
+    db, layout = Database.with_workload(workload)
+    engine = db.engine
+    tier = MvccTier.attach(engine, MvccConfig())
+    driver = MvccWorkloadDriver(engine, layout,
+                                ExperimentConfig(workload=workload))
+    if reorganize:
+        reorganizer = MergeReorganizer(engine, 1, plan=CompactionPlan())
+        metrics = driver.run(reorganizer=reorganizer, horizon_ms=horizon_ms)
+    else:
+        metrics = driver.run(horizon_ms=horizon_ms)
+        metrics.algorithm = "mvcc-nr"
+    problems = tier.verify()
+    report = engine.verify_integrity()
+    if problems or not report.ok:
+        raise AssertionError(
+            f"MVCC integrity violated: {(problems + report.problems())[:3]}")
+    return BenchPoint(algorithm=metrics.algorithm, metrics=metrics,
+                      counters=engine.sim.counters())
+
+
+def run_mvcc_experiment(scale_name: Optional[str] = None,
+                        progress: Optional[Callable[[str], None]] = None
+                        ) -> Dict[str, BenchPoint]:
+    """All five arms at one parameter point.
+
+    Duration protocol follows the paper (and ``run_three_way``): each
+    reorganizing arm runs until its reorganization completes; each
+    no-reorg twin is measured over the matching arm's window (capped),
+    so every during-reorg tail is compared against a baseline of the
+    same length.
+    """
+    scale = SCALES[scale_name] if scale_name else bench_scale()
+    # MPL 10: enough concurrency that the 2PL arms' readers collide with
+    # the reorganizer's X locks, low enough that the two-lock arm's
+    # deadlock-timeout churn stays tractable at every scale.
+    workload = base_workload(scale, mpl=10)
+    say = progress or (lambda line: None)
+    points: Dict[str, BenchPoint] = {}
+
+    points["ira"] = run_point("ira", workload)
+    say(f"ira done ({points['ira'].metrics.window_ms:.0f} ms window)")
+    points["ira-2lock"] = run_point("ira-2lock", workload,
+                                    driver_cls=TwoLockBenchDriver)
+    say("ira-2lock done")
+    nr_horizon = min(points["ira"].metrics.window_ms,
+                     scale.nr_horizon_cap_ms)
+    points["nr"] = run_point("nr", workload, horizon_ms=nr_horizon)
+    say("nr done")
+    points["mvcc"] = run_mvcc_point(workload, reorganize=True)
+    say(f"mvcc done ({points['mvcc'].metrics.window_ms:.0f} ms window)")
+    mvcc_horizon = min(points["mvcc"].metrics.window_ms,
+                       scale.nr_horizon_cap_ms)
+    points["mvcc-nr"] = run_mvcc_point(workload, reorganize=False,
+                                       horizon_ms=mvcc_horizon)
+    say("mvcc-nr done")
+    return points
+
+
+def format_mvcc(points: Dict[str, BenchPoint]) -> str:
+    """The figure: per-arm tails plus the reorganization tax on p99."""
+    lines = [
+        "MVCC read tier: response times during on-line reorganization",
+        f"{'':10} {'tput(tps)':>10} {'avg(ms)':>8} {'p99(ms)':>8} "
+        f"{'p999(ms)':>9} {'max(ms)':>8} {'aborts':>7} {'retries':>8}",
+    ]
+    for name in MVCC_ARMS:
+        m = points[name].metrics
+        lines.append(
+            f"{name:10} {m.throughput_tps:10.1f} {m.avg_response_ms:8.0f} "
+            f"{m.p99_response_ms:8.0f} {m.p999_response_ms:9.0f} "
+            f"{m.max_response_ms:8.0f} {m.aborts:7d} {m.total_retries:8d}")
+
+    def tax(arm: str, baseline: str) -> float:
+        base = points[baseline].metrics.p99_response_ms
+        if base <= 0:
+            return 0.0
+        return points[arm].metrics.p99_response_ms / base
+
+    lines.append("")
+    lines.append("reorganization tax on p99 (reorg arm / its no-reorg "
+                 "baseline; 1.00 = readers never noticed):")
+    lines.append(f"  ira        / nr      {tax('ira', 'nr'):8.2f}x")
+    lines.append(f"  ira-2lock  / nr      {tax('ira-2lock', 'nr'):8.2f}x")
+    lines.append(f"  mvcc merge / mvcc-nr {tax('mvcc', 'mvcc-nr'):8.2f}x")
+    return "\n".join(lines)

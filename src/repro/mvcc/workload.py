@@ -1,0 +1,77 @@
+"""The paper's random-walk workload, ported to snapshot transactions.
+
+Draw-for-draw identical to
+:func:`repro.workload.transactions.random_walk_transaction` — same RNG
+consumption order, same update/rewire decisions, same walk shape — so a
+given ``(seed, thread, attempt)`` triple denotes the *same logical
+transaction* on the 2PL and MVCC arms and the benchmark compares read
+paths, not workloads.  The only behavioural difference is the failure
+mode: 2PL aborts on lock timeouts mid-walk, MVCC aborts on
+first-committer-wins conflicts at commit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator
+
+from ..config import WorkloadConfig
+from ..errors import WriteConflictError
+from ..workload.graphgen import GraphLayout, glue_slot, random_bytes
+from ..workload.transactions import WalkOutcome
+from .snapshot import SnapshotTransaction, begin_snapshot_txn
+
+
+def mvcc_random_walk(engine, layout: GraphLayout,
+                     config: WorkloadConfig, rng: random.Random,
+                     home_partition: int
+                     ) -> Generator[Any, Any, WalkOutcome]:
+    """Run one random-walk transaction on a snapshot; re-raises
+    :class:`WriteConflictError` so the submitting thread can retry the
+    same logical transaction on a fresh snapshot."""
+    txn: SnapshotTransaction = begin_snapshot_txn(engine)
+    ops = updates = ref_updates = 0
+    try:
+        stub_oids = layout.root_stubs[home_partition]
+        stub = stub_oids[rng.randrange(len(stub_oids))]
+        stub_image = yield from txn.read(stub)
+        current = stub_image.children()[0]
+        visited = []
+
+        for _ in range(config.ops_per_trans):
+            is_update = rng.random() < config.update_prob
+            image = yield from txn.read(current, for_update=is_update)
+            ops += 1
+            if is_update:
+                updates += 1
+                rewire = (rng.random() < config.ref_update_prob
+                          and len(visited) >= 1)
+                if rewire:
+                    candidates = [oid for oid in visited if oid != current]
+                    if candidates:
+                        target = candidates[rng.randrange(len(candidates))]
+                        yield from txn.update_ref(
+                            current, glue_slot(config), target)
+                        ref_updates += 1
+                        # The rewire lives only in the write buffer until
+                        # commit; continue the walk through it.
+                        image = txn._writes[current].copy()
+                else:
+                    offset = rng.randrange(
+                        max(1, config.payload_bytes - 4))
+                    poke = random_bytes(rng, 4)
+                    yield from txn.write_payload(current, offset, poke)
+            visited.append(current)
+            children = image.children()
+            if not children:
+                break
+            current = children[rng.randrange(len(children))]
+
+        yield from txn.commit()
+        return WalkOutcome(True, ops, updates, ref_updates)
+    except WriteConflictError:
+        # commit() already recorded the abort and released the snapshot.
+        raise
+    except BaseException:
+        yield from txn.abort()
+        raise

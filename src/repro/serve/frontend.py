@@ -28,8 +28,9 @@ import random
 from typing import Any, Generator, Optional
 
 from ..concurrency import LockTimeoutError
-from ..errors import NodeUnreachableError
+from ..errors import NodeUnreachableError, WriteConflictError
 from ..config import ServeConfig, WorkloadConfig
+from ..mvcc import mvcc_random_walk
 from ..sim import Delay
 from ..workload.metrics import TransactionRecord
 from ..workload.transactions import random_walk_transaction
@@ -166,16 +167,24 @@ class ServingLayer:
         cfg = self.serve
         policy = cfg.retry_policy()
         backoff_rng = policy.rng(f"{cfg.seed}/request-{request.request_id}")
+        # With an MVCC tier attached, requests run as snapshot
+        # transactions: reads route to versioned images and never wait on
+        # a reorganizer — the serving-side half of ROADMAP item 2.
+        walk = (mvcc_random_walk
+                if getattr(self.engine, "mvcc", None) is not None
+                else random_walk_transaction)
         while True:
             try:
-                yield from random_walk_transaction(
+                yield from walk(
                     self.engine, self.layout, self.workload,
                     random.Random(request.txn_seed), request.partition_id)
                 break
-            except (LockTimeoutError, NodeUnreachableError):
-                # Same retry path for both abort shapes: a lock timeout
-                # and an unreachable remote owner (a distributed read
-                # racing a peer's crash window) are transient; back off
+            except (LockTimeoutError, NodeUnreachableError,
+                    WriteConflictError):
+                # Same retry path for all three abort shapes: a lock
+                # timeout, an unreachable remote owner (a distributed
+                # read racing a peer's crash window) and a
+                # first-committer-wins conflict are transient; back off
                 # and re-run the transaction.
                 metrics.aborts += 1
                 request.retries += 1

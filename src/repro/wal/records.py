@@ -46,6 +46,8 @@ KIND_REORG_PROGRESS = 11
 KIND_TPC_PREPARE = 12
 KIND_TPC_DECISION = 13
 KIND_TPC_END = 14
+KIND_TAIL_DELTA = 15
+KIND_MERGE_INSTALL = 16
 
 #: BEGIN flag: the transaction is a system transaction (reorganizer /
 #: utility).  The log analyzer maintains the ERT for system transactions
@@ -346,6 +348,68 @@ class TpcEndRecord(LogRecord):
         return _pack_bytes(self.gid.encode("utf-8"))
 
 
+@dataclass(unsafe_hash=True)
+class TailDeltaRecord(LogRecord):
+    """One MVCC commit's tail versions (:mod:`repro.mvcc`).
+
+    A snapshot transaction's whole write set is carried in a single
+    record — the atomic durability point of the commit: either the
+    record is durable and the commit happened, or a torn tail truncates
+    it and the commit never existed.  ``writes`` pairs each *logical*
+    OID with the full after-image it committed at ``commit_ts``.
+
+    Logged with ``tid == 0`` like CHECKPOINT/REORG_PROGRESS records:
+    analysis never sees a loser, redo never replays it against pages
+    (tail versions live above the physical store); only the MVCC tier
+    rebuild reads these back, in LSN order, to reconstruct the version
+    chains.
+    """
+
+    commit_ts: int = 0
+    writes: Tuple[Tuple[Oid, bytes], ...] = ()
+    kind: int = KIND_TAIL_DELTA
+
+    def _encode_body(self) -> bytes:
+        parts = [_U64.pack(self.commit_ts), _U32.pack(len(self.writes))]
+        for oid, image in self.writes:
+            parts.append(_pack_oid(oid))
+            parts.append(_pack_bytes(image))
+        return b"".join(parts)
+
+
+@dataclass(unsafe_hash=True)
+class MergeInstallRecord(LogRecord):
+    """The merge reorganizer's atomic epoch flip (:mod:`repro.mvcc`).
+
+    ``flips`` maps each merged logical OID to the freshly-placed base
+    object now carrying its consolidated image; ``frees`` lists the old
+    base addresses to reclaim once the GC watermark passes
+    ``merge_ts``.  Logged with ``tid == 0`` *inside* the merge's system
+    transaction (``owner_tid``), before that transaction commits: the
+    tier rebuild honors the flip only when ``owner_tid`` committed, so
+    a crash before the commit point undoes the new bases physically and
+    leaves the lineage untouched — the flip is atomic with the commit.
+    """
+
+    owner_tid: int = 0
+    partition_id: int = 0
+    merge_ts: int = 0
+    flips: Tuple[Tuple[Oid, Oid], ...] = ()
+    frees: Tuple[Oid, ...] = ()
+    kind: int = KIND_MERGE_INSTALL
+
+    def _encode_body(self) -> bytes:
+        parts = [_U64.pack(self.owner_tid), _U16.pack(self.partition_id),
+                 _U64.pack(self.merge_ts), _U32.pack(len(self.flips))]
+        for logical, physical in self.flips:
+            parts.append(_pack_oid(logical))
+            parts.append(_pack_oid(physical))
+        parts.append(_U32.pack(len(self.frees)))
+        for oid in self.frees:
+            parts.append(_pack_oid(oid))
+        return b"".join(parts)
+
+
 def decode_record(data: bytes, lsn: int = 0) -> LogRecord:
     """Decode one encoded record (inverse of ``LogRecord.encode``).
 
@@ -447,6 +511,42 @@ def _decode_record(data: bytes, lsn: int) -> LogRecord:
     elif kind == KIND_TPC_END:
         gid, offset = _unpack_bytes(data, offset)
         record = TpcEndRecord(tid, prev_lsn, gid=gid.decode("utf-8"))
+    elif kind == KIND_TAIL_DELTA:
+        (commit_ts,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        writes = []
+        for _ in range(count):
+            oid, offset = _unpack_oid(data, offset)
+            image, offset = _unpack_bytes(data, offset)
+            writes.append((oid, image))
+        record = TailDeltaRecord(tid, prev_lsn, commit_ts=commit_ts,
+                                 writes=tuple(writes))
+    elif kind == KIND_MERGE_INSTALL:
+        (owner_tid,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (partition_id,) = _U16.unpack_from(data, offset)
+        offset += _U16.size
+        (merge_ts,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        (count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        flips = []
+        for _ in range(count):
+            logical, offset = _unpack_oid(data, offset)
+            physical, offset = _unpack_oid(data, offset)
+            flips.append((logical, physical))
+        (count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        frees = []
+        for _ in range(count):
+            oid, offset = _unpack_oid(data, offset)
+            frees.append(oid)
+        record = MergeInstallRecord(tid, prev_lsn, owner_tid=owner_tid,
+                                    partition_id=partition_id,
+                                    merge_ts=merge_ts, flips=tuple(flips),
+                                    frees=tuple(frees))
     else:
         raise LogCorruptionError(f"unknown log record kind {kind}")
     return record.with_lsn(lsn)

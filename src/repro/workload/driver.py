@@ -30,7 +30,17 @@ from .transactions import random_walk_transaction
 
 
 class WorkloadDriver:
-    """Runs one experiment: MPL threads + (optionally) a reorganizer."""
+    """Runs one experiment: MPL threads + (optionally) a reorganizer.
+
+    Subclasses may override ``walk_fn`` (the per-transaction generator)
+    and ``retry_on`` (the abort exceptions a thread retries) to run the
+    same closed-loop protocol over a different transaction API — the
+    MVCC arm swaps in snapshot-transaction walks retried on
+    first-committer-wins conflicts, with identical seeding.
+    """
+
+    walk_fn = staticmethod(random_walk_transaction)
+    retry_on = (LockTimeoutError,)
 
     def __init__(self, engine, layout: GraphLayout,
                  experiment: ExperimentConfig):
@@ -139,11 +149,11 @@ class WorkloadDriver:
             txn_seed = thread_rng.getrandbits(64)
             while True:
                 try:
-                    yield from random_walk_transaction(
+                    yield from self.walk_fn(
                         self.engine, self.layout, self.config,
                         random.Random(txn_seed), home)
                     break
-                except LockTimeoutError:
+                except self.retry_on:
                     metrics.aborts += 1
                     retries += 1
                     # Randomized backoff before the retry: two transactions

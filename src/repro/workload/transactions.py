@@ -17,6 +17,7 @@ from typing import Any, Generator
 
 from ..concurrency import LockTimeoutError
 from ..config import WorkloadConfig
+from ..storage import NoSuchObjectError
 from .graphgen import GraphLayout, glue_slot, random_bytes
 
 
@@ -82,4 +83,12 @@ def random_walk_transaction(engine, layout: GraphLayout,
         return WalkOutcome(True, ops, updates, ref_updates)
     except LockTimeoutError:
         yield from txn.abort(reason="deadlock")
+        raise
+    except NoSuchObjectError:
+        # The §4.2 reference-equality caveat: this walk read a parent
+        # before the two-lock reorganizer patched it, queued on the old
+        # address's lock, and was granted it only after the migration
+        # deleted the old copy.  Abort so locks are released; whether the
+        # submitting harness retries is its policy.
+        yield from txn.abort(reason="stale-read")
         raise

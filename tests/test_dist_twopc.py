@@ -9,33 +9,24 @@ state byte-identical to a fault-free twin of the same configuration.
 
 import pytest
 
-from repro.config import DistConfig, WorkloadConfig
+from repro.config import WorkloadConfig
 from repro.database import Database
-from repro.dist import (DistCluster, cluster_deep_verify, cluster_digests,
+from repro.dist import (DistCluster, cluster_digests,
                         cluster_graph_signature)
 from repro.dist.chaos import RESTART_DELAY_MS, arm_fault_plan
 from repro.faults import FaultPlan
 from repro.storage.oid import Oid
 
 
-def _small(**overrides) -> DistConfig:
-    base = dict(node_count=3, objects_per_partition=18, seed=11)
-    base.update(overrides)
-    return DistConfig(**base)
-
-
-def _run_clean(config: DistConfig) -> DistCluster:
-    cluster = DistCluster(config).build()
-    cluster.reorganize_all()
-    assert cluster.run_until_reorgs_done(), "cluster did not quiesce"
-    assert cluster_deep_verify(cluster) == []
-    return cluster
-
+# Cluster setup lives in conftest.py: ``small_dist_config`` builds the
+# 3-node configuration, ``run_clean_cluster`` reorganizes a cluster to
+# a quiesced, deep-verified end state.
 
 # -- happy path ---------------------------------------------------------------
 
-def test_cross_node_reorg_preserves_graph_and_needs_tpc():
-    cluster = DistCluster(_small()).build()
+def test_cross_node_reorg_preserves_graph_and_needs_tpc(small_dist_config):
+    from repro.dist import cluster_deep_verify
+    cluster = DistCluster(small_dist_config()).build()
     signature = cluster_graph_signature(cluster)
     cluster.reorganize_all()
     assert cluster.run_until_reorgs_done()
@@ -45,16 +36,19 @@ def test_cross_node_reorg_preserves_graph_and_needs_tpc():
     assert sum(n.reorg.remote_patches for n in cluster.nodes) > 0
 
 
-def test_zero_remote_fraction_commits_without_tpc():
-    cluster = _run_clean(_small(remote_ref_fraction=0.0))
+def test_zero_remote_fraction_commits_without_tpc(small_dist_config,
+                                                  run_clean_cluster):
+    cluster = run_clean_cluster(small_dist_config(remote_ref_fraction=0.0))
     assert sum(n.reorg.tpc_rounds for n in cluster.nodes) == 0
 
 
-def test_runs_are_deterministic_per_seed():
-    a = _run_clean(_small())
-    b = _run_clean(_small())
+def test_runs_are_deterministic_per_seed(small_dist_config,
+                                         run_clean_cluster):
+    a = run_clean_cluster(small_dist_config())
+    b = run_clean_cluster(small_dist_config())
     assert cluster_digests(a) == cluster_digests(b)
-    assert cluster_digests(a) != cluster_digests(_run_clean(_small(seed=12)))
+    assert cluster_digests(a) != cluster_digests(
+        run_clean_cluster(small_dist_config(seed=12)))
 
 
 # -- crash at protocol stages -------------------------------------------------
@@ -82,9 +76,11 @@ class _CrashOnce:
     "coord-after-decision-log",   # decision durable, push never sent
     "part-after-prepare-log",     # participant in doubt, vote lost
 ])
-def test_stage_crash_recovers_to_twin_state(stage):
-    config = _small()
-    twin = _run_clean(config.copy())
+def test_stage_crash_recovers_to_twin_state(small_dist_config,
+                                            run_clean_cluster, stage):
+    from repro.dist import cluster_deep_verify
+    config = small_dist_config()
+    twin = run_clean_cluster(config.copy())
 
     cluster = DistCluster(config.copy()).build()
     signature = cluster_graph_signature(cluster)
@@ -100,11 +96,11 @@ def test_stage_crash_recovers_to_twin_state(stage):
     assert cluster_digests(cluster) == cluster_digests(twin)
 
 
-def test_gids_carry_crash_epoch_across_restart():
+def test_gids_carry_crash_epoch_across_restart(small_dist_config):
     """A restarted coordinator must not reuse pre-crash gids: the
     participant's duplicate-prepare memo would answer for the old round
     without applying the new patches."""
-    config = _small()
+    config = small_dist_config()
     cluster = DistCluster(config).build()
     cluster.reorganize_all()
     hook = _CrashOnce(cluster, "coord-after-decision-log")
@@ -121,9 +117,11 @@ def test_gids_carry_crash_epoch_across_restart():
 
 # -- FaultPlan-driven distributed faults --------------------------------------
 
-def test_fault_plan_kill_node_restarts_and_matches_twin():
-    config = _small()
-    twin = _run_clean(config.copy())
+def test_fault_plan_kill_node_restarts_and_matches_twin(small_dist_config,
+                                                        run_clean_cluster):
+    from repro.dist import cluster_deep_verify
+    config = small_dist_config()
+    twin = run_clean_cluster(config.copy())
     plan = FaultPlan.kill_node_at(1, ms=60.0, down_ms=140.0)
     assert plan.wants_dist
     cluster = DistCluster(config.copy()).build()
@@ -135,8 +133,9 @@ def test_fault_plan_kill_node_restarts_and_matches_twin():
     assert cluster_digests(cluster) == cluster_digests(twin)
 
 
-def test_fault_plan_link_cut_heals_and_completes():
-    config = _small()
+def test_fault_plan_link_cut_heals_and_completes(small_dist_config):
+    from repro.dist import cluster_deep_verify
+    config = small_dist_config()
     plan = FaultPlan.cut_link(0, 1, ms=30.0, heal_ms=150.0)
     cluster = DistCluster(config).build()
     cluster.reorganize_all()

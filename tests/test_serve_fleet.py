@@ -10,8 +10,7 @@ oracle stays clean.
 
 import pytest
 
-from repro.config import FleetConfig, SystemConfig, WorkloadConfig
-from repro.database import Database
+from repro.config import FleetConfig
 from repro.faults.chaos import graph_signature
 from repro.serve import LeaseTable, ReorgFleet
 from repro.sim import Delay, Simulator
@@ -105,33 +104,13 @@ def test_lease_boundary_outcome_is_dispatch_order_independent(renew_first):
 
 
 # -- the fleet ----------------------------------------------------------------
+#
+# Engine setup lives in conftest.py: ``build_fleet_db`` builds the
+# 3-partition waits-for database, ``run_fleet`` runs a two-claim fleet
+# to completion with an optional chaos kill.
 
-def _build():
-    workload = WorkloadConfig(num_partitions=3, objects_per_partition=340,
-                              mpl=4, seed=42)
-    return Database.with_workload(
-        workload, system=SystemConfig(deadlock_detection="waits-for"))
-
-
-def _run_fleet(kill_at=None, workers=2):
-    db, layout = _build()
-    engine = db.engine
-    fleet = ReorgFleet(engine, [1, 2],
-                       FleetConfig(workers=workers, lease_ms=200.0,
-                                   heartbeat_ms=40.0),
-                       layout=layout)
-    monitors = fleet.install_monitors(limit=2)
-    fleet.spawn()
-    if kill_at is not None:
-        engine.sim.call_later(
-            kill_at, lambda: engine.sim.kill_matching("reorg-worker-0"))
-    engine.sim.run(until=60_000.0)
-    assert fleet.done, "fleet wedged before the horizon"
-    return db, fleet, monitors
-
-
-def test_fleet_reorganizes_all_claims_without_faults():
-    db, fleet, monitors = _run_fleet()
+def test_fleet_reorganizes_all_claims_without_faults(run_fleet):
+    db, fleet, monitors = run_fleet()
     assert sorted(fleet.completed) == [1, 2]
     assert fleet.leases.takeovers == 0
     assert db.verify_integrity().ok
@@ -140,12 +119,12 @@ def test_fleet_reorganizes_all_claims_without_faults():
     assert all(not monitor.violations for monitor in monitors)
 
 
-def test_chaos_kill_mid_ira_takeover_resumes_from_wal():
+def test_chaos_kill_mid_ira_takeover_resumes_from_wal(run_fleet):
     """The satellite: kill worker-0 mid-reorganization."""
-    twin_db, twin_fleet, _ = _run_fleet(kill_at=None)
+    twin_db, twin_fleet, _ = run_fleet(kill_at=None)
     twin_signature = graph_signature(twin_db.engine)
 
-    db, fleet, monitors = _run_fleet(kill_at=300.0)
+    db, fleet, monitors = run_fleet(kill_at=300.0)
     # The lease expired and the survivor took the partition over —
     # exactly once; no partition was ever worked twice concurrently.
     assert fleet.leases.takeovers == 1
@@ -166,18 +145,19 @@ def test_chaos_kill_mid_ira_takeover_resumes_from_wal():
 
 
 @pytest.mark.parametrize("kill_at", [30.0, 150.0])
-def test_chaos_kill_before_first_checkpoint_restarts_cleanly(kill_at):
+def test_chaos_kill_before_first_checkpoint_restarts_cleanly(run_fleet,
+                                                             kill_at):
     """An early kill (no checkpoint yet) restarts the partition from
     scratch; final state still matches the twin."""
-    twin_db, _, _ = _run_fleet(kill_at=None)
-    db, fleet, _ = _run_fleet(kill_at=kill_at)
+    twin_db, _, _ = run_fleet(kill_at=None)
+    db, fleet, _ = run_fleet(kill_at=kill_at)
     assert fleet.leases.takeovers == 1
     assert sorted(fleet.completed) == [1, 2]
     assert db.verify_integrity().ok
     assert graph_signature(db.engine) == graph_signature(twin_db.engine)
 
 
-def test_scrubber_stays_clean_through_chaos_kill_takeover():
+def test_scrubber_stays_clean_through_chaos_kill_takeover(build_fleet_db):
     """A background scrubber sweeps every page while worker-0 is
     chaos-killed mid-IRA and the survivor takes the partition over.
     Pages in flux during migration, takeover and orphan reaping must
@@ -185,7 +165,7 @@ def test_scrubber_stays_clean_through_chaos_kill_takeover():
     sweeps throughout — no false positives, no wedging."""
     from repro.storage.scrub import Scrubber
 
-    db, layout = _build()
+    db, layout = build_fleet_db()
     engine = db.engine
     scrubber = Scrubber(engine, interval_ms=15.0, pages_per_sweep=6)
     engine.sim.spawn(scrubber.run(), name="scrubber")
@@ -211,10 +191,10 @@ def test_scrubber_stays_clean_through_chaos_kill_takeover():
     assert db.verify_integrity().ok
 
 
-def test_no_concurrent_ownership_during_takeover():
+def test_no_concurrent_ownership_during_takeover(build_fleet_db):
     """While the dead worker's lease is live, nobody else may claim the
     partition — the mutual-exclusion window the lease term guarantees."""
-    db, layout = _build()
+    db, layout = build_fleet_db()
     engine = db.engine
     fleet = ReorgFleet(engine, [1],
                        FleetConfig(workers=2, lease_ms=300.0,
