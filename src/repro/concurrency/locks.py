@@ -163,8 +163,11 @@ class LockManager:
         self.stats.requests += 1
         entry = self._table.get(key)
         if entry is None:
+            # First touch of a key: trivially grantable, nothing queued.
             entry = _LockEntry()
             self._table[key] = entry
+            self._grant(entry, tid, mode, key)
+            return True
 
         held = entry.granted.get(tid)
         if held is LockMode.X or held is mode:
@@ -277,13 +280,20 @@ class LockManager:
     def release_all(self, tid: int) -> Set[object]:
         """Release everything ``tid`` holds (strict 2PL at txn end)."""
         keys = self._held_by.pop(tid, set())
+        table = self._table
+        observer = self.observer
         for key in keys:
-            entry = self._table.get(key)
+            entry = table.get(key)
             if entry is not None and tid in entry.granted:
                 del entry.granted[tid]
-                if self.observer is not None:
-                    self.observer("release", tid, key, None)
-                self._dispatch(entry, key)
+                if observer is not None:
+                    observer("release", tid, key, None)
+                if entry.queue:
+                    self._dispatch(entry, key)
+                elif not entry.granted:
+                    # ``_dispatch``'s empty-entry cleanup, inlined for the
+                    # common uncontended release (nothing queued).
+                    del table[key]
         return keys
 
     def transaction_finished(self, tid: int) -> None:
@@ -402,11 +412,23 @@ class LockManager:
         return True
 
     def _grant(self, entry: _LockEntry, tid: int, mode: LockMode, key) -> None:
+        # get-or-insert instead of ``setdefault``: this runs per grant,
+        # and ``setdefault`` allocates its throwaway default set even on
+        # the (overwhelmingly common) hit.
         entry.granted[tid] = mode
-        self._held_by.setdefault(tid, set()).add(key)
+        held = self._held_by.get(tid)
+        if held is None:
+            held = self._held_by[tid] = set()
+        held.add(key)
         if self.track_history:
-            self._history.setdefault(key, set()).add(tid)
-            self._tid_history.setdefault(tid, set()).add(key)
+            lockers = self._history.get(key)
+            if lockers is None:
+                lockers = self._history[key] = set()
+            lockers.add(tid)
+            keys = self._tid_history.get(tid)
+            if keys is None:
+                keys = self._tid_history[tid] = set()
+            keys.add(key)
         if self.observer is not None:
             self.observer("grant", tid, key, mode)
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from .concurrency import LatchManager, LockManager
 from .config import SystemConfig
 from .refs import ExternalReferenceTable, LogAnalyzer, TemporaryReferenceTable
-from .sim import Resource, Simulator
+from .sim import Delay, Resource, Simulator
 from .storage import ObjectStore, Oid
 from .storage.buffer import BufferPool
 from .txn import TransactionManager
@@ -76,6 +76,16 @@ class StorageEngine:
         self.sim = sim or Simulator()
         self.cpu = Resource(self.sim, capacity=self.config.cpu_count,
                             name="cpu")
+        # Shared Delay commands for the fixed per-access CPU charges: the
+        # kernel only ever reads ``dt`` off a yielded Delay, so the hot
+        # transactional paths can reuse one instance per configured cost
+        # instead of allocating one per object access.
+        self._access_delay = Delay(self.config.cpu_object_access_ms)
+        self._update_delay = Delay(self.config.cpu_update_extra_ms)
+        # Hot-path guards: one attribute read instead of a config chase
+        # per access (a zero cost skips the CPU resource entirely).
+        self._charge_access = self.config.cpu_object_access_ms > 0
+        self._charge_update = self.config.cpu_update_extra_ms > 0
         self.log_disk = Resource(self.sim, capacity=1, name="log-disk")
         self.data_disk = Resource(self.sim, capacity=1, name="data-disk")
         self.buffer = (BufferPool(self.sim, self.data_disk,

@@ -139,7 +139,7 @@ def run_schedule(policy: TracingPolicy,
     finally:
         sim.set_policy(None)
 
-    hung = bool(sim._queue)
+    hung = bool(sim._queue or sim._ready)
     unhandled = [(proc.name, f"{type(exc).__name__}: {exc}")
                  for proc, exc in sim._unhandled]
     if hung or unhandled:
@@ -233,7 +233,7 @@ def _run_mvcc_schedule(policy: TracingPolicy, workload: WorkloadConfig,
     finally:
         sim.set_policy(None)
 
-    hung = bool(sim._queue)
+    hung = bool(sim._queue or sim._ready)
     unhandled = [(proc.name, f"{type(exc).__name__}: {exc}")
                  for proc, exc in sim._unhandled]
     if hung or unhandled:

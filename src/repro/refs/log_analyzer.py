@@ -26,9 +26,12 @@ from typing import Callable, Dict, Set
 from ..storage import ObjectImage
 from ..storage.oid import Oid
 from ..wal.records import (
-    BeginRecord,
-    ClrRecord,
-    EndRecord,
+    KIND_BEGIN,
+    KIND_CLR,
+    KIND_END,
+    KIND_OBJ_CREATE,
+    KIND_OBJ_DELETE,
+    KIND_REF_UPDATE,
     LogRecord,
     ObjCreateRecord,
     ObjDeleteRecord,
@@ -36,6 +39,12 @@ from ..wal.records import (
 )
 from .ert import ExternalReferenceTable
 from .trt import TemporaryReferenceTable
+
+#: Record kinds that carry reference information the analyzer acts on.
+_ANALYZED_KINDS = frozenset({
+    KIND_BEGIN, KIND_END, KIND_REF_UPDATE,
+    KIND_OBJ_CREATE, KIND_OBJ_DELETE, KIND_CLR,
+})
 
 
 class LogAnalyzer:
@@ -73,29 +82,39 @@ class LogAnalyzer:
     # -- record processing -----------------------------------------------------------
 
     def process(self, record: LogRecord) -> None:
-        """Consume one log record (called synchronously at append time)."""
+        """Consume one log record (called synchronously at append time).
+
+        Dispatches on the ``kind`` tag rather than ``isinstance`` chains:
+        the analyzer sees *every* appended record, and the most frequent
+        kinds (payload updates, commits) need no analysis at all.
+        """
         self.records_processed += 1
-        if isinstance(record, BeginRecord):
+        kind = record.kind
+        if kind not in _ANALYZED_KINDS:
+            # Payload updates, commits and aborts — the bulk of the
+            # stream — carry no reference information.
+            return
+        if kind == KIND_BEGIN:
             if record.is_system and record.owner_partition is not None:
                 self._reorg_owner[record.tid] = record.owner_partition
-        elif isinstance(record, EndRecord):
+        elif kind == KIND_END:
             self._reorg_owner.pop(record.tid, None)
             for trt in self._active_trts.values():
                 trt.on_transaction_end(record.tid, self.strict_2pl)
-        elif isinstance(record, RefUpdateRecord):
+        elif kind == KIND_REF_UPDATE:
             self._analyze_ref_update(record.tid, record.parent,
                                      record.old_child, record.new_child)
-        elif isinstance(record, ObjCreateRecord):
+        elif kind == KIND_OBJ_CREATE:
             trt = self._active_trts.get(record.oid.partition)
             if trt is not None and not self._owned_by(record.tid,
                                                       record.oid.partition):
                 trt.record_creation(record.oid)
             self._analyze_whole_object(record.tid, record.oid,
                                        record.image, created=True)
-        elif isinstance(record, ObjDeleteRecord):
+        elif kind == KIND_OBJ_DELETE:
             self._analyze_whole_object(record.tid, record.oid,
                                        record.before_image, created=False)
-        elif isinstance(record, ClrRecord):
+        elif kind == KIND_CLR:
             # Analyze the compensation through its inner action: an abort
             # that reintroduces a deleted reference is treated as an
             # insertion (§4.5).  The inner record carries the same tid.

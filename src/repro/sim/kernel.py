@@ -37,6 +37,7 @@ Example::
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterator, NamedTuple, Optional
 
 from .errors import ProcessKilled, SimulationDeadlock, WaitTimeout
@@ -357,7 +358,16 @@ class Process:
         except BaseException as exc:  # noqa: BLE001 - reported via done event
             self._finish(exc=exc)
             return
-        self._dispatch(command)
+        # Exact-type fast paths for the two commands every step yields
+        # (``isinstance`` plus a second call frame were measurable);
+        # subclasses and stray commands fall through to ``_dispatch``.
+        cls = command.__class__
+        if cls is Delay:
+            self.sim._schedule(command.dt, self._step, self.name)
+        elif cls is Wait:
+            self._wait(command.event, command.timeout)
+        else:
+            self._dispatch(command)
 
     def _finish(self, value: Any = None, exc: Optional[BaseException] = None,
                 report: bool = True) -> None:
@@ -432,9 +442,25 @@ class Simulator:
         self._seq = 0
         # Queue entries are mutable lists [when, seq, fn, label]; a
         # cancelled or already-dispatched entry has ``fn is None`` and is
-        # skipped lazily when it reaches the heap front.  ``seq`` is
-        # unique, so heap comparisons never reach the callback slot.
+        # skipped lazily when it reaches the front.  ``seq`` is unique,
+        # so heap comparisons never reach the callback slot.
+        #
+        # The pending set is split two ways (the half of all schedules
+        # with ``when == now`` — event wakeups, ``call_soon``, zero
+        # delays — never needs heap ordering):
+        #
+        # * ``_ready``   — entries scheduled *at the current time*; a
+        #   plain FIFO, since ``seq`` assignment order is append order.
+        # * ``_queue``   — a heap of entries strictly in the future (at
+        #   scheduling time).
+        #
+        # Global ``(when, seq)`` dispatch order is preserved because a
+        # heap entry that shares the current timestamp was necessarily
+        # scheduled before the clock reached it, hence carries a smaller
+        # ``seq`` than every ready-FIFO entry (which was appended at the
+        # current time): at equal timestamps the heap drains first.
         self._queue: list[list] = []
+        self._ready: deque[list] = deque()
         self._live_processes: set[Process] = set()
         self._unhandled: list[tuple[Process, BaseException]] = []
         self._proc_counter = 0
@@ -487,10 +513,21 @@ class Simulator:
         for internal callers that never cancel (``Delay`` resumption is
         the hottest scheduling path in the benchmarks)."""
         self._seq += 1
-        entry = [self._now + dt, self._seq, fn, label]
-        heapq.heappush(self._queue, entry)
-        if len(self._queue) > self._heap_peak:
-            self._heap_peak = len(self._queue)
+        now = self._now
+        when = now + dt
+        entry = [when, self._seq, fn, label]
+        # Classify by the *computed* timestamp, not by ``dt``: an entry
+        # landing at the current time belongs on the ready FIFO whatever
+        # delay produced it, which keeps the heap free of current-time
+        # entries pushed at the current time (the ordering argument in
+        # ``__init__`` depends on that).
+        if when == now:
+            self._ready.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
+        depth = len(self._queue) + len(self._ready)
+        if depth > self._heap_peak:
+            self._heap_peak = depth
         return entry
 
     def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
@@ -500,7 +537,9 @@ class Simulator:
         self._proc_counter += 1
         proc = Process(self, gen, name or f"proc-{self._proc_counter}")
         self._live_processes.add(proc)
-        self.call_soon(proc._step, label=proc.name)
+        # ``call_soon`` minus the TimerHandle nobody keeps — spawns are
+        # never cancelled through a handle (``kill`` settles the entry).
+        self._schedule(0.0, proc._step, proc.name)
         return proc
 
     def _pop_next(self) -> Optional[list]:
@@ -513,16 +552,37 @@ class Simulator:
         gathering the ready set, so traces contain only real choices.
         """
         if self._policy is None:
-            while self._queue:
-                entry = heapq.heappop(self._queue)
+            queue = self._queue
+            fifo = self._ready
+            now = self._now
+            while queue or fifo:
+                # Ready-FIFO entries sit at the current time; a heap
+                # entry sharing that time was scheduled earlier (smaller
+                # seq) and goes first.  With an empty FIFO the heap min
+                # is simply next.
+                if fifo and not (queue and queue[0][0] == now):
+                    entry = fifo.popleft()
+                else:
+                    entry = heapq.heappop(queue)
                 if entry[2] is not None:
                     return entry
             return None
-        while self._queue:
-            when = self._queue[0][0]
+        while self._queue or self._ready:
+            if self._ready:
+                # Earliest timestamp is the current time: the ready set
+                # is every heap entry at ``now`` (smaller seqs, gathered
+                # first — pop order is seq order at equal ``when``)
+                # followed by the whole FIFO (append order == seq order).
+                when = self._now
+            else:
+                when = self._queue[0][0]
             ready: list[list] = []
             while self._queue and self._queue[0][0] == when:
                 entry = heapq.heappop(self._queue)
+                if entry[2] is not None:
+                    ready.append(entry)
+            while self._ready:
+                entry = self._ready.popleft()
                 if entry[2] is not None:
                     ready.append(entry)
             while ready:
@@ -560,7 +620,8 @@ class Simulator:
             self._run_fast(raise_unhandled)
         else:
             self._run_general(until, raise_unhandled)
-        if not self._queue and self._live_processes and until is None:
+        if not self._queue and not self._ready and self._live_processes \
+                and until is None:
             names = sorted(p.name for p in self._live_processes)
             raise SimulationDeadlock(
                 f"no scheduled events but processes still blocked: {names}")
@@ -574,17 +635,33 @@ class Simulator:
         callback slot cleared so a late ``TimerHandle.cancel`` is a no-op.
         """
         queue = self._queue
+        fifo = self._ready
         pop = heapq.heappop
+        popleft = fifo.popleft
         unhandled = self._unhandled
+        now = self._now
         dispatched = 0
         try:
-            while queue:
-                entry = pop(queue)
+            while True:
+                # Merge rule (see ``__init__``): at the current time the
+                # heap's entries precede the FIFO's; otherwise the FIFO
+                # (which always sits at the current time) goes first, and
+                # only an empty FIFO lets the clock advance to the heap
+                # minimum.
+                if fifo:
+                    if queue and queue[0][0] == now:
+                        entry = pop(queue)
+                    else:
+                        entry = popleft()
+                elif queue:
+                    entry = pop(queue)
+                else:
+                    break
                 fn = entry[2]
                 if fn is None:
                     continue
                 entry[2] = None
-                self._now = entry[0]
+                now = self._now = entry[0]
                 dispatched += 1
                 fn()
                 if raise_unhandled and unhandled:
@@ -596,8 +673,10 @@ class Simulator:
     def _run_general(self, until: Optional[float],
                      raise_unhandled: bool) -> None:
         """Horizon-bounded and/or policy-driven loop (the slow path)."""
-        while self._queue:
-            when = self._queue[0][0]
+        while self._queue or self._ready:
+            # Earliest pending timestamp: ready-FIFO entries sit at the
+            # current time, so a non-empty FIFO pins it to ``now``.
+            when = self._now if self._ready else self._queue[0][0]
             if until is not None and when > until:
                 self._now = until
                 break
@@ -650,7 +729,10 @@ class Simulator:
             proc.kill(exc)
         for entry in self._queue:
             entry[2] = None  # late TimerHandle.cancel must stay a no-op
+        for entry in self._ready:
+            entry[2] = None
         self._queue.clear()
+        self._ready.clear()
         self._unhandled.clear()
 
     def live_processes(self) -> list[Process]:
@@ -669,5 +751,6 @@ class Simulator:
         return len(victims)
 
     def __repr__(self) -> str:
-        return (f"<Simulator t={self._now:.3f} queued={len(self._queue)} "
+        queued = len(self._queue) + len(self._ready)
+        return (f"<Simulator t={self._now:.3f} queued={queued} "
                 f"live={len(self._live_processes)}>")

@@ -124,7 +124,7 @@ class ObjectImage:
         refs = self._refs
         if refs:
             body = _ref_array(len(refs)).pack(
-                *(NULL_REF if ref is None else ref.pack() for ref in refs))
+                *[NULL_REF if ref is None else ref.pack() for ref in refs])
         else:
             body = b""
         return _HEADER.pack(len(refs), len(self.payload)) + body + self.payload
@@ -185,7 +185,14 @@ class ObjectImage:
     # -- misc ----------------------------------------------------------------
 
     def copy(self) -> "ObjectImage":
-        return ObjectImage(self._refs, self.payload)
+        # Bypasses ``__init__``: the refs list is copied directly and the
+        # payload is immutable ``bytes`` already, so re-wrapping both
+        # through the constructor is pure overhead on the hottest read
+        # path (every transactional read hands out a copy).
+        new = ObjectImage.__new__(ObjectImage)
+        new._refs = self._refs[:]
+        new.payload = self.payload
+        return new
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ObjectImage):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from itertools import chain
+from itertools import chain, count
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .errors import (
@@ -41,8 +41,18 @@ PAGE_HEADER_BYTES = 16
 SLOT_ENTRY_BYTES = 4
 
 _FREE = -1
+_crc32 = zlib.crc32
 _META = struct.Struct("<qqq")   # free_ptr, live_bytes, page_lsn (snapshots)
 _QQ = struct.Struct("<qq")
+#: Process-wide page-mutation stamp.  Every mutating page operation takes
+#: the next value, so a ``(page, version)`` pair observed once can be
+#: re-validated later with a single integer compare — and, because the
+#: counter is global, a version can never recur on a *different* page
+#: object (restore/repair build fresh pages with fresh stamps), so stale
+#: cache entries can never alias a rebuilt page.
+_VERSION_COUNTER = count(1)
+_next_version = _VERSION_COUNTER.__next__
+
 #: Cached packers for flattened slot directories, keyed by value count.
 #: Packing the whole directory in one call feeds crc32 the same byte
 #: stream as the old per-slot loop (CRC values are unchanged) at a
@@ -87,8 +97,8 @@ class Page:
     Python object attributes.
     """
 
-    __slots__ = ("size", "page_lsn", "_buf", "_free_ptr", "_slots",
-                 "_live_bytes", "_crc", "_tail")
+    __slots__ = ("size", "page_lsn", "_buf", "_mv", "_free_ptr", "_slots",
+                 "_live_bytes", "_crc", "_tail", "_version")
 
     def __init__(self, size: int):
         if size <= PAGE_HEADER_BYTES + SLOT_ENTRY_BYTES:
@@ -96,9 +106,17 @@ class Page:
         self.size = size
         self.page_lsn = 0
         self._buf = bytearray(size)
+        # Long-lived memoryview over the buffer, sliced per read instead
+        # of constructed per read.  Safe to hold: the buffer is never
+        # resized (records are placed with equal-length slice writes),
+        # and every path that rebinds ``_buf`` rebinds the view with it.
+        self._mv = memoryview(self._buf)
         self._free_ptr = 0               # next byte offset for appends
         self._slots: List[Tuple[int, int]] = []   # slot -> (offset, length)
         self._live_bytes = 0
+        # Mutation stamp (see ``_VERSION_COUNTER``); bumped by every
+        # operation that changes record bytes or the slot directory.
+        self._version = _next_version()
         # Packed (free_ptr, live_bytes, slot directory) bytes, reused by
         # the checksum while only record *bytes* change (the common case:
         # in-place payload pokes and reference-slot writes).  Any method
@@ -167,7 +185,7 @@ class Page:
         """Zero-copy view of a record — valid only until the next page
         mutation; callers must compare/copy immediately, never hold it."""
         offset, length = self._slot_entry(slot)
-        return memoryview(self._buf)[offset:offset + length]
+        return self._mv[offset:offset + length]
 
     def read_bytes(self, slot: int, start: int, length: int) -> bytes:
         """Read ``length`` bytes at record-relative offset ``start``."""
@@ -185,13 +203,21 @@ class Page:
                 f"write [{start}:{start + len(data)}] out of record "
                 f"of {reclen}B")
         self._buf[offset + start:offset + start + len(data)] = data
-        self._crc = self._content_crc()
+        self._version = _next_version()
+        # In-place writes never touch the directory, so the cached tail
+        # is almost always valid — inline that branch of _content_crc.
+        tail = self._tail
+        if tail is not None:
+            self._crc = _crc32(tail, _crc32(self._buf))
+        else:
+            self._crc = self._content_crc()
 
     def update(self, slot: int, data: bytes) -> None:
         """Replace a record's bytes; relocates within the page if resized."""
         offset, reclen = self._slot_entry(slot)
         if len(data) == reclen:
             self._buf[offset:offset + reclen] = data
+            self._version = _next_version()
             self._crc = self._content_crc()
             return
         # Free the old record and try to place the new one; roll back to the
@@ -213,6 +239,7 @@ class Page:
         self._slots[slot] = (_FREE, 0)
         self._live_bytes -= length
         self._tail = None
+        self._version = _next_version()
         self._crc = self._content_crc()
 
     def slots(self) -> Iterator[int]:
@@ -312,6 +339,8 @@ class Page:
         page = cls(state["size"])  # type: ignore[arg-type]
         page.page_lsn = state["page_lsn"]  # type: ignore[assignment]
         page._buf = bytearray(state["buf"])  # type: ignore[arg-type]
+        page._mv = memoryview(page._buf)
+        page._version = _next_version()
         page._free_ptr = state["free_ptr"]  # type: ignore[assignment]
         page._slots = list(state["slots"])  # type: ignore[arg-type]
         page._live_bytes = state["live_bytes"]  # type: ignore[assignment]
@@ -337,6 +366,7 @@ class Page:
         self._free_ptr += len(data)
         self._slots[slot] = (offset, len(data))
         self._live_bytes += len(data)
+        self._version = _next_version()
         self._crc = self._content_crc()
 
     def _data_limit(self) -> int:
@@ -355,6 +385,7 @@ class Page:
             self._slots[slot] = (write_ptr, length)
             write_ptr += length
         self._buf = new_buf
+        self._mv = memoryview(new_buf)
         self._free_ptr = write_ptr
 
     def _slot_entry(self, slot: int) -> Tuple[int, int]:

@@ -21,7 +21,7 @@ every object access also charges simulated CPU per the cost model.
 from __future__ import annotations
 
 import enum
-from typing import Any, Generator, List, Optional, Set
+from typing import Any, Generator, List, Optional, Set, Tuple
 
 from ..concurrency import LockMode
 from ..errors import ReferenceProtocolError, TransactionStateError
@@ -103,19 +103,20 @@ class Transaction:
         guard against.  X locks are held to transaction end even in
         short-lock mode so rollback never needs to re-acquire them.
         """
-        self._require_active()
+        if self.status is not TxnStatus.ACTIVE:
+            self._require_active()
         engine = self.engine
         # Flattened fast paths: the uncontended lock grant, the
         # memory-resident page fix and the CPU charge would each cost a
         # generator per access through the generic helpers — this is the
-        # hottest method in the benchmarks.
+        # hottest method in the benchmarks.  (The status check and the
+        # history/tracer notes are inlined here for the same reason.)
         mode = LockMode.X if for_update else LockMode.S
         if not engine.locks.try_acquire(self.tid, oid, mode):
             yield from engine.locks.acquire_wait(self.tid, oid, mode)
         if engine.buffer is not None:
             yield from engine.fix_page(oid)
-        cost = engine.config.cpu_object_access_ms
-        if cost > 0:
+        if engine._charge_access:
             cpu = engine.cpu
             if not cpu.try_use():
                 gate = cpu.wait_gate()
@@ -125,32 +126,49 @@ class Transaction:
                     cpu.cancel_wait(gate)
                     raise
             try:
-                yield Delay(cost)
+                # The engine pre-builds one Delay per configured cost —
+                # the kernel only reads ``dt``, so sharing the instance
+                # across every access is safe and skips an allocation on
+                # the hottest yield in the benchmarks.
+                yield engine._access_delay
             finally:
                 cpu.release()
-        image = engine.store.read_object(oid)
-        self.local_refs.update(image.children())
+        # One cache lookup yields both the private image copy and the
+        # store's shared children tuple (cheaper than re-scanning the
+        # copy's ref slots per read).
+        image, children = engine.store.read_object_with_children(oid)
+        self.local_refs.update(children)
         self.local_refs.add(oid)
-        self._note("r", oid)
+        if self._history is not None:
+            self._history.record(self, "r", oid)
+        if self._tracer is not None:
+            self._tracer.note(self.tid, oid)
         self.ops += 1
         if not self.strict and not for_update and not \
                 engine.locks.holds(self.tid, oid, LockMode.X):
             self.unlock(oid)
         return image
 
-    # -- updates ---------------------------------------------------------------
+    def read_refs(self, oid: Oid, for_update: bool = False
+                  ) -> Generator[Any, Any, Tuple[Oid, ...]]:
+        """:meth:`read`, but returns only the object's non-null children
+        — the store's shared tuple, which callers must not mutate.
 
-    def write_payload(self, oid: Oid, offset: int,
-                      data: bytes) -> Generator[Any, Any, None]:
-        """Overwrite payload bytes in place (logged, undoable)."""
-        self._require_active()
+        Pointer chasing needs nothing else from the object, and the
+        random walk is nothing but pointer chasing: skipping the private
+        image copy per step is a large fraction of the walk's Python
+        cost.  Locking, CPU charges, local-memory and history semantics
+        are identical to :meth:`read`.
+        """
+        if self.status is not TxnStatus.ACTIVE:
+            self._require_active()
         engine = self.engine
-        if not engine.locks.try_acquire(self.tid, oid, LockMode.X):
-            yield from engine.locks.acquire_wait(self.tid, oid, LockMode.X)
+        mode = LockMode.X if for_update else LockMode.S
+        if not engine.locks.try_acquire(self.tid, oid, mode):
+            yield from engine.locks.acquire_wait(self.tid, oid, mode)
         if engine.buffer is not None:
-            yield from engine.fix_page(oid, dirty=True)
-        cost = engine.config.cpu_update_extra_ms
-        if cost > 0:
+            yield from engine.fix_page(oid)
+        if engine._charge_access:
             cpu = engine.cpu
             if not cpu.try_use():
                 gate = cpu.wait_gate()
@@ -160,14 +178,63 @@ class Transaction:
                     cpu.cancel_wait(gate)
                     raise
             try:
-                yield Delay(cost)
+                yield engine._access_delay
             finally:
                 cpu.release()
-        before = engine.store.get_payload(oid)[offset:offset + len(data)]
-        self._note("w", oid)
-        self._log_and_apply(PayloadUpdateRecord(
+        children = engine.store.children_tuple(oid)
+        self.local_refs.update(children)
+        self.local_refs.add(oid)
+        if self._history is not None:
+            self._history.record(self, "r", oid)
+        if self._tracer is not None:
+            self._tracer.note(self.tid, oid)
+        self.ops += 1
+        if not self.strict and not for_update and not \
+                engine.locks.holds(self.tid, oid, LockMode.X):
+            self.unlock(oid)
+        return children
+
+    # -- updates ---------------------------------------------------------------
+
+    def write_payload(self, oid: Oid, offset: int,
+                      data: bytes) -> Generator[Any, Any, None]:
+        """Overwrite payload bytes in place (logged, undoable)."""
+        if self.status is not TxnStatus.ACTIVE:
+            self._require_active()
+        engine = self.engine
+        if not engine.locks.try_acquire(self.tid, oid, LockMode.X):
+            yield from engine.locks.acquire_wait(self.tid, oid, LockMode.X)
+        if engine.buffer is not None:
+            yield from engine.fix_page(oid, dirty=True)
+        if engine._charge_update:
+            cpu = engine.cpu
+            if not cpu.try_use():
+                gate = cpu.wait_gate()
+                try:
+                    yield Wait(gate)
+                except BaseException:
+                    cpu.cancel_wait(gate)
+                    raise
+            try:
+                yield engine._update_delay
+            finally:
+                cpu.release()
+        store = engine.store
+        before = store.get_payload(oid)[offset:offset + len(data)]
+        if self._history is not None:
+            self._history.record(self, "w", oid)
+        if self._tracer is not None:
+            self._tracer.note(self.tid, oid)
+        # WAL append then direct apply: forward processing always appends
+        # the newest LSN, so ``apply_record``'s redo test (page LSN >=
+        # record LSN -> skip) can never fire here — go straight to the
+        # store operation the record describes.
+        record = PayloadUpdateRecord(
             self.tid, self.last_lsn, oid=oid, offset=offset,
-            before=bytes(before), after=bytes(data)))
+            before=bytes(before), after=bytes(data))
+        self.last_lsn = lsn = engine.log.append(record)
+        store.set_payload_bytes(oid, offset, record.after)
+        store.set_page_lsn(oid, lsn)
 
     def insert_ref(self, parent: Oid, child: Oid,
                    slot: Optional[int] = None) -> Generator[Any, Any, int]:
@@ -226,7 +293,8 @@ class Transaction:
         consolidates its per-migration CPU into one burst and passes 0
         here.
         """
-        self._require_active()
+        if self.status is not TxnStatus.ACTIVE:
+            self._require_active()
         if new_child is not None:
             self._check_ref_source(new_child)
         engine = self.engine
@@ -247,16 +315,25 @@ class Transaction:
                     cpu.cancel_wait(gate)
                     raise
             try:
-                yield Delay(cost)
+                yield (engine._update_delay if cpu_ms is None
+                       else Delay(cost))
             finally:
                 cpu.release()
-        old_child = engine.store.get_ref(parent, slot)
+        store = engine.store
+        old_child = store.get_ref(parent, slot)
         if old_child is not None:
             self.local_refs.add(old_child)
-        self._note("w", parent)
-        self._log_and_apply(RefUpdateRecord(
+        if self._history is not None:
+            self._history.record(self, "w", parent)
+        if self._tracer is not None:
+            self._tracer.note(self.tid, parent)
+        # Same append-then-direct-apply shortcut as ``write_payload``.
+        record = RefUpdateRecord(
             self.tid, self.last_lsn, parent=parent, slot=slot,
-            old_child=old_child, new_child=new_child))
+            old_child=old_child, new_child=new_child)
+        self.last_lsn = lsn = engine.log.append(record)
+        store.set_ref(parent, slot, new_child)
+        store.set_page_lsn(parent, lsn)
 
     def create_object(self, partition_id: int, image: ObjectImage,
                       fresh_only: bool = False,

@@ -124,9 +124,9 @@ class LogManager:
 
     def append(self, record: LogRecord) -> int:
         """Buffer a record; returns its LSN.  Does not flush."""
-        self._encoded.append(record.encode())
-        lsn = len(self._encoded)
-        record.with_lsn(lsn)
+        encoded = self._encoded
+        encoded.append(record.encode())
+        record.lsn = lsn = len(encoded)
         for subscriber in self._subscribers:
             subscriber(record)
         return lsn

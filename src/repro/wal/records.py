@@ -31,6 +31,11 @@ _U64 = struct.Struct("<Q")
 _HDR = struct.Struct("<BQQ")            # kind, tid, prev_lsn
 _REF_BODY = struct.Struct("<QHQQ")      # parent, slot, old_child, new_child
 _PAYLOAD_HEAD = struct.Struct("<QII")   # oid, offset, len(before)
+# Whole-record packers (header + body in one C call) for the record
+# kinds the workload appends constantly; same field-by-field layout.
+_BEGIN_FULL = struct.Struct("<BQQBH")   # hdr + flags, reorg_partition
+_REF_FULL = struct.Struct("<BQQQHQQ")   # hdr + parent, slot, old, new
+_PAYLOAD_FULL = struct.Struct("<BQQQII")  # hdr + oid, offset, len(before)
 
 KIND_BEGIN = 1
 KIND_COMMIT = 2
@@ -133,6 +138,10 @@ class BeginRecord(LogRecord):
             return None
         return self.reorg_partition
 
+    def encode(self) -> bytes:
+        return _BEGIN_FULL.pack(KIND_BEGIN, self.tid, self.prev_lsn,
+                                self.flags, self.reorg_partition)
+
     def _encode_body(self) -> bytes:
         return _U8.pack(self.flags) + _U16.pack(self.reorg_partition)
 
@@ -141,15 +150,24 @@ class BeginRecord(LogRecord):
 class CommitRecord(LogRecord):
     kind: int = KIND_COMMIT
 
+    def encode(self) -> bytes:
+        return _HDR.pack(KIND_COMMIT, self.tid, self.prev_lsn)
+
 
 @dataclass(unsafe_hash=True)
 class AbortRecord(LogRecord):
     kind: int = KIND_ABORT
 
+    def encode(self) -> bytes:
+        return _HDR.pack(KIND_ABORT, self.tid, self.prev_lsn)
+
 
 @dataclass(unsafe_hash=True)
 class EndRecord(LogRecord):
     kind: int = KIND_END
+
+    def encode(self) -> bytes:
+        return _HDR.pack(KIND_END, self.tid, self.prev_lsn)
 
 
 @dataclass(unsafe_hash=True)
@@ -186,6 +204,15 @@ class PayloadUpdateRecord(LogRecord):
     after: bytes = b""
     kind: int = KIND_PAYLOAD_UPDATE
 
+    def encode(self) -> bytes:
+        before = self.before
+        after = self.after
+        return (_PAYLOAD_FULL.pack(
+                    KIND_PAYLOAD_UPDATE, self.tid, self.prev_lsn,
+                    NULL_REF if self.oid is None else self.oid.pack(),
+                    self.offset, len(before))
+                + before + _U32.pack(len(after)) + after)
+
     def _encode_body(self) -> bytes:
         return (_PAYLOAD_HEAD.pack(
                     NULL_REF if self.oid is None else self.oid.pack(),
@@ -207,6 +234,14 @@ class RefUpdateRecord(LogRecord):
     old_child: Optional[Oid] = None
     new_child: Optional[Oid] = None
     kind: int = KIND_REF_UPDATE
+
+    def encode(self) -> bytes:
+        return _REF_FULL.pack(
+            KIND_REF_UPDATE, self.tid, self.prev_lsn,
+            NULL_REF if self.parent is None else self.parent.pack(),
+            self.slot,
+            NULL_REF if self.old_child is None else self.old_child.pack(),
+            NULL_REF if self.new_child is None else self.new_child.pack())
 
     def _encode_body(self) -> bytes:
         return _REF_BODY.pack(

@@ -46,13 +46,15 @@ def random_walk_transaction(engine, layout: GraphLayout,
         # Enter through a persistent root (a root stub in partition 0).
         stub_oids = layout.root_stubs[home_partition]
         stub = stub_oids[rng.randrange(len(stub_oids))]
-        stub_image = yield from txn.read(stub)
-        current = stub_image.children()[0]
+        # The walk only ever follows references, so use the copy-free
+        # ``read_refs`` — same locking/CPU/local-memory semantics as
+        # ``read``, but no per-step private image copy.
+        current = (yield from txn.read_refs(stub))[0]
         visited = []
 
         for _ in range(config.ops_per_trans):
             is_update = rng.random() < config.update_prob
-            image = yield from txn.read(current, for_update=is_update)
+            children = yield from txn.read_refs(current, for_update=is_update)
             ops += 1
             if is_update:
                 updates += 1
@@ -67,14 +69,13 @@ def random_walk_transaction(engine, layout: GraphLayout,
                         yield from txn.update_ref(
                             current, glue_slot(config), target)
                         ref_updates += 1
-                        image = engine.store.read_object(current)
+                        children = engine.store.children_tuple(current)
                 else:
                     offset = rng.randrange(
                         max(1, config.payload_bytes - 4))
                     poke = random_bytes(rng, 4)
                     yield from txn.write_payload(current, offset, poke)
             visited.append(current)
-            children = image.children()
             if not children:
                 break
             current = children[rng.randrange(len(children))]

@@ -85,3 +85,53 @@ def test_chaos_single_corruption_point(capsys):
                  "torn_log_tail"] + SMALL_SCALE)
     assert code == 0
     assert "torn_log_tail" in capsys.readouterr().out
+
+
+# -- the bench --compare CI gate ------------------------------------------------
+#
+# The perf-smoke job leans on the exit code: 0 when the run is within
+# tolerance of the committed BENCH_*.json AND the simulated metrics are
+# byte-identical, 1 otherwise.  Pin both directions, and the --tolerance
+# alias the job uses.
+
+def test_bench_compare_gate_pass_and_fail(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "BENCH_test.json"
+    code = main(["bench", "table2", "--scale", "quick", "--profile", "5",
+                 "--json", str(baseline)])
+    assert code == 0
+    recorded = json.loads(baseline.read_text())
+    figure = recorded["figures"]["table2/quick"]
+    # --profile with --json mirrors the hotspot table into the payload.
+    assert len(figure["profile"]) == 5
+    assert all(row["cumtime_s"] >= 0 for row in figure["profile"])
+    capsys.readouterr()
+
+    # Within tolerance, identical metrics -> exit 0 (--tolerance alias).
+    code = main(["bench", "table2", "--scale", "quick",
+                 "--compare", str(baseline), "--tolerance", "100000"])
+    assert code == 0
+
+    # Over-tolerance wall-clock regression -> exit 1.
+    slow = json.loads(baseline.read_text())
+    slow["figures"]["table2/quick"]["wall_clock_s"] = 1e-6
+    fast_baseline = tmp_path / "BENCH_fast.json"
+    fast_baseline.write_text(json.dumps(slow))
+    capsys.readouterr()
+    code = main(["bench", "table2", "--scale", "quick",
+                 "--compare", str(fast_baseline), "--tolerance", "0"])
+    assert code == 1
+    assert "wall-clock regression" in capsys.readouterr().err
+
+    # Simulated-metric drift -> exit 1 even with unlimited tolerance.
+    drifted = json.loads(baseline.read_text())
+    drifted["figures"]["table2/quick"]["metrics"]["ira"][
+        "throughput_tps"] = -1.0
+    drift_baseline = tmp_path / "BENCH_drift.json"
+    drift_baseline.write_text(json.dumps(drifted))
+    capsys.readouterr()
+    code = main(["bench", "table2", "--scale", "quick",
+                 "--compare", str(drift_baseline), "--tolerance", "100000"])
+    assert code == 1
+    assert "metrics drifted" in capsys.readouterr().err
