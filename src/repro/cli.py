@@ -10,9 +10,11 @@ Commands
 
 ``bench``
     Run one paper experiment (table2, mpl, partition-size, update-prob)
-    or the clustering experiment (NR vs random placement vs
-    affinity-clustered IRA in the disk-resident setting) and print its
-    data table.
+    or one of the extension experiments — clustering (NR vs random
+    placement vs affinity-clustered IRA in the disk-resident setting),
+    dist, mvcc, scale, or locks (flat vs hierarchical lock manager
+    under a scan-heavy mix, see CONCURRENCY.md) — and print its data
+    table.
 
 ``inspect``
     Build the workload and print the database's physical layout
@@ -99,12 +101,21 @@ def _workload(args) -> WorkloadConfig:
 
 def cmd_demo(args) -> int:
     workload = _workload(args)
-    db, layout = Database.with_workload(workload)
+    # ``--locks flat`` keeps the default-construction path (and its
+    # byte-identical schedules); only the hierarchical choice builds an
+    # explicit system config.
+    system = None
+    if args.locks == "hier":
+        system = SystemConfig(lock_manager="hier",
+                              lock_escalate_after=args.escalate_after)
+    db, layout = Database.with_workload(workload, system=system)
     print(f"loaded {workload.num_partitions} x "
           f"{workload.objects_per_partition} objects; running "
-          f"{args.algorithm} on partition 1 under MPL {workload.mpl} ...")
+          f"{args.algorithm} on partition 1 under MPL {workload.mpl} "
+          f"({args.locks} locks) ...")
     driver = WorkloadDriver(db.engine, layout,
-                            ExperimentConfig(workload=workload))
+                            ExperimentConfig(workload=workload,
+                                             system=system or SystemConfig()))
     metrics = driver.run(reorganizer=db.reorganizer(
         1, args.algorithm, plan=CompactionPlan()))
     stats = metrics.reorg_stats
@@ -126,6 +137,13 @@ def cmd_demo(args) -> int:
           f"{metrics.retry_budget_exhausted} gave up)")
     print(f"  p99 / p999 response  {metrics.p99_response_ms:.0f} / "
           f"{metrics.p999_response_ms:.0f} ms")
+    if metrics.locks is not None:
+        print(f"  lock manager         {metrics.locks['manager']}: "
+              f"{metrics.locks['acquires']} acquires, "
+              f"{metrics.locks['conflicts']} conflicts, "
+              f"{metrics.locks['escalations']} escalations "
+              f"({metrics.locks['deescalations']} undone), "
+              f"table peak {metrics.locks['table_peak']}")
     report = db.verify_integrity()
     print(f"\n  integrity: {'OK' if report.ok else 'BROKEN'}")
     return 0 if report.ok else 1
@@ -151,6 +169,13 @@ def _bench_figure(args, workload):
             args.scale,
             progress=lambda line: print(f"  {line}", file=sys.stderr))
         return format_dist(rows), dist_payload(rows)
+    if args.experiment == "locks":
+        from .hlock.bench import (format_locks, locks_payload,
+                                  run_locks_experiment)
+        rows = run_locks_experiment(
+            args.scale,
+            progress=lambda line: print(f"  {line}", file=sys.stderr))
+        return format_locks(rows), locks_payload(rows)
     if args.experiment == "mvcc":
         from .mvcc.bench import format_mvcc, run_mvcc_experiment
         points = run_mvcc_experiment(
@@ -518,12 +543,15 @@ def cmd_explore(args) -> int:
     workload = WorkloadConfig(num_partitions=args.partitions,
                               objects_per_partition=args.objects,
                               mpl=args.mpl, seed=args.seed)
-    # Each mutation targets one algorithm's seam; follow it unless the
-    # user explicitly picked one.
+    # Each mutation targets one algorithm's (and lock manager's) seam;
+    # follow it unless the user explicitly picked one.
     algorithm = args.algorithm or (
         MUTATIONS[args.mutation].algorithm if args.mutation else "ira")
+    locks = args.locks or (
+        MUTATIONS[args.mutation].locks if args.mutation else "flat")
     report = explore(seeds=args.seeds, depth=args.depth, workload=workload,
                      algorithm=algorithm, mutation_name=args.mutation,
+                     locks=locks, strict=not args.relaxed,
                      out_dir=args.out,
                      progress=lambda line: print(f"  {line}"))
     print(f"\n  distinct schedules   {report.distinct} "
@@ -555,6 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="reorganize on-line under load")
     demo.add_argument("--algorithm", default="ira",
                       choices=sorted(REORGANIZERS))
+    demo.add_argument("--locks", default="flat", choices=["flat", "hier"],
+                      help="lock manager: flat (one granule per object) "
+                           "or hier (IS/IX/S/SIX/X over partition/page/"
+                           "object with auto-escalation, default flat)")
+    demo.add_argument("--escalate-after", type=int, default=8,
+                      metavar="N",
+                      help="with --locks hier: fine locks on one page "
+                           "before escalating to a page lock (default 8, "
+                           "0 disables)")
     _add_scale_arguments(demo)
     demo.set_defaults(fn=cmd_demo)
 
@@ -562,7 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiment",
                        choices=["table2", "mpl", "partition-size",
                                 "update-prob", "clustering", "scale",
-                                "dist", "mvcc"])
+                                "dist", "mvcc", "locks"])
     bench.add_argument("--profile", type=int, nargs="?", const=25,
                        default=0, metavar="N",
                        help="run under cProfile and print the top N "
@@ -670,6 +707,14 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--mpl", type=int, default=3)
     explore.add_argument("--seed", type=int, default=131,
                          help="workload seed (default 131)")
+    explore.add_argument("--locks", default=None,
+                         choices=["flat", "hier"],
+                         help="lock manager to explore under (default: "
+                              "flat, or the --mutation's target manager)")
+    explore.add_argument("--relaxed", action="store_true",
+                         help="relaxed 2PL (§4.1/§6): read locks release "
+                              "at operation end; the serializability "
+                              "oracle is skipped, the rest still apply")
     explore.add_argument("--mutation", default=None,
                          choices=sorted(MUTATIONS),
                          help="plant a known reorganizer bug; the run "

@@ -46,8 +46,57 @@ TimeoutFaultHook = Callable[[int, object, "LockMode"], bool]
 
 
 class LockMode(enum.Enum):
+    """Lock modes, Gray-style multi-granularity lattice.
+
+    The flat manager only ever grants S and X.  The intention modes
+    (IS/IX/SIX) exist for :class:`repro.hlock.HierarchicalLockManager`,
+    which plants them on ancestor granules (partition, page) before
+    locking an object; keeping the whole lattice here lets the
+    hierarchical manager reuse every queue/upgrade/dispatch path below
+    unchanged.
+    """
+
+    IS = "IS"
+    IX = "IX"
     S = "S"
+    SIX = "SIX"
     X = "X"
+
+
+#: requested mode -> set of already-granted modes it is compatible with
+#: (the classic Gray compatibility matrix).
+_COMPATIBLE: Dict[LockMode, frozenset] = {
+    LockMode.IS: frozenset({LockMode.IS, LockMode.IX, LockMode.S,
+                            LockMode.SIX}),
+    LockMode.IX: frozenset({LockMode.IS, LockMode.IX}),
+    LockMode.S: frozenset({LockMode.IS, LockMode.S}),
+    LockMode.SIX: frozenset({LockMode.IS}),
+    LockMode.X: frozenset(),
+}
+
+#: held mode -> modes it satisfies re-entrantly (no upgrade needed).
+_COVERS: Dict[LockMode, frozenset] = {
+    LockMode.IS: frozenset({LockMode.IS}),
+    LockMode.IX: frozenset({LockMode.IX, LockMode.IS}),
+    LockMode.S: frozenset({LockMode.S, LockMode.IS}),
+    LockMode.SIX: frozenset({LockMode.SIX, LockMode.S, LockMode.IX,
+                             LockMode.IS}),
+    LockMode.X: frozenset({LockMode.X, LockMode.SIX, LockMode.S,
+                           LockMode.IX, LockMode.IS}),
+}
+
+#: (held, requested) -> the weakest single mode covering both; what an
+#: upgrade targets.  sup(S, X) = X; sup(S, IX) = SIX — the SIX mode
+#: exists precisely as this supremum.
+_SUP: Dict[LockMode, Dict[LockMode, LockMode]] = {
+    a: {
+        b: next(m for m in (LockMode.IS, LockMode.IX, LockMode.S,
+                            LockMode.SIX, LockMode.X)
+                if a in _COVERS[m] and b in _COVERS[m])
+        for b in LockMode
+    }
+    for a in LockMode
+}
 
 
 class LockTimeoutError(Exception):
@@ -101,7 +150,9 @@ class LockStats:
     """Aggregate contention counters, reported by the benchmarks."""
 
     __slots__ = ("requests", "waits", "timeouts", "forced_timeouts",
-                 "total_wait_ms", "deadlock_victims", "cycles_detected")
+                 "total_wait_ms", "deadlock_victims", "cycles_detected",
+                 "table_peak", "escalations", "deescalations",
+                 "escalation_failures")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -114,6 +165,15 @@ class LockStats:
         #: Distinct cycles the detector observed (== victims: one victim
         #: breaks exactly the cycle it closed).
         self.cycles_detected = 0
+        #: High-water mark of live lock-table entries (distinct keys with
+        #: at least one grant or waiter) — the axis the hierarchical
+        #: manager's escalation trades conflict rate against.
+        self.table_peak = 0
+        #: Hierarchical-manager escalation counters; stay 0 on the flat
+        #: manager.
+        self.escalations = 0
+        self.deescalations = 0
+        self.escalation_failures = 0
 
     def __repr__(self) -> str:
         return (f"<LockStats requests={self.requests} waits={self.waits} "
@@ -166,18 +226,24 @@ class LockManager:
             # First touch of a key: trivially grantable, nothing queued.
             entry = _LockEntry()
             self._table[key] = entry
+            if len(self._table) > self.stats.table_peak:
+                self.stats.table_peak = len(self._table)
             self._grant(entry, tid, mode, key)
             return True
 
         held = entry.granted.get(tid)
-        if held is LockMode.X or held is mode:
-            return True  # re-entrant; already strong enough
-
-        if held is LockMode.S and mode is LockMode.X:
-            if len(entry.granted) == 1:
-                entry.granted[tid] = LockMode.X
+        if held is not None:
+            if held is LockMode.X or held is mode or mode in _COVERS[held]:
+                return True  # re-entrant; already strong enough
+            # Upgrade to the supremum of held and requested (S+X → X,
+            # S+IX → SIX, ...); granted synchronously when compatible with
+            # every *other* holder — for the flat manager's only upgrade
+            # (S → X) that is exactly the "sole holder" rule.
+            target = _SUP[held][mode]
+            if self._grantable(entry, target, ignore_tid=tid):
+                entry.granted[tid] = target
                 if self.observer is not None:
-                    self.observer("grant", tid, key, LockMode.X)
+                    self.observer("grant", tid, key, target)
                 return True
             return False
         if not entry.queue and self._grantable(entry, mode):
@@ -198,10 +264,11 @@ class LockManager:
         """The wait path — only valid right after :meth:`try_acquire`
         returned ``False`` (the entry exists and is not grantable)."""
         entry = self._table[key]
-        upgrade = entry.granted.get(tid) is LockMode.S and mode is LockMode.X
+        held = entry.granted.get(tid)
+        upgrade = held is not None and mode not in _COVERS[held]
 
-        # Upgrades queue at the front (they already hold S and
-        # would otherwise deadlock behind requests blocked on that S).
+        # Upgrades queue at the front (they already hold a lock and
+        # would otherwise deadlock behind requests blocked on it).
         if self.fault_hook is not None and self.fault_hook(tid, key, mode):
             # Injected lock-timeout storm: fail as if the full timeout had
             # elapsed, without occupying a queue slot.
@@ -209,7 +276,8 @@ class LockManager:
             self.stats.forced_timeouts += 1
             raise LockTimeoutError(tid, key, mode)
         gate = self.sim.event(name=f"lock:{key}:{tid}")
-        request = _Request(tid, mode, gate, upgrade)
+        request = _Request(tid, _SUP[held][mode] if upgrade else mode,
+                           gate, upgrade)
         if upgrade:
             entry.queue.appendleft(request)
         else:
@@ -317,13 +385,42 @@ class LockManager:
             return False
         if mode is None:
             return True
-        return held.granted[tid] is LockMode.X or held.granted[tid] is mode
+        m = held.granted[tid]
+        return m is LockMode.X or m is mode or mode in _COVERS[m]
 
     def held_keys(self, tid: int) -> Set[object]:
         return set(self._held_by.get(tid, set()))
 
     def lock_count(self, tid: int) -> int:
         return len(self._held_by.get(tid, ()))
+
+    def object_lock_count(self, tid: int) -> int:
+        """Distinct *object-level* locks held — the unit of the paper's
+        two-lock footprint guarantee.  Identical to :meth:`lock_count`
+        here; the hierarchical manager excludes ancestor granules."""
+        return len(self._held_by.get(tid, ()))
+
+    def counters_summary(self, force: bool = False):
+        """Lock-manager counters for metrics / bench payloads.
+
+        The flat manager returns ``None`` unless forced, so every
+        pre-existing summary (and committed BENCH_*.json figure) stays
+        byte-identical; the hierarchical manager always reports.
+        """
+        if not force:
+            return None
+        return self._counters("flat")
+
+    def _counters(self, manager: str) -> Dict[str, object]:
+        s = self.stats
+        return {
+            "manager": manager,
+            "acquires": s.requests,
+            "conflicts": s.waits,
+            "escalations": s.escalations,
+            "deescalations": s.deescalations,
+            "table_peak": s.table_peak,
+        }
 
     def waiter_count(self, key) -> int:
         entry = self._table.get(key)
@@ -402,12 +499,21 @@ class LockManager:
         if not granted:
             return True
         if mode is LockMode.S:
+            # Fast path for the flat manager's dominant request mode: the
+            # extra identity checks are no-ops on a pure S/X table.
             for t, m in granted.items():
-                if m is LockMode.X and t != ignore_tid:
+                if t != ignore_tid and (m is LockMode.X or m is LockMode.IX
+                                        or m is LockMode.SIX):
                     return False
             return True
-        for t in granted:
-            if t != ignore_tid:
+        if mode is LockMode.X:
+            for t in granted:
+                if t != ignore_tid:
+                    return False
+            return True
+        compatible = _COMPATIBLE[mode]
+        for t, m in granted.items():
+            if t != ignore_tid and m not in compatible:
                 return False
         return True
 
@@ -437,13 +543,14 @@ class LockManager:
         while entry.queue:
             request = entry.queue[0]
             if request.upgrade:
-                if self._grantable(entry, LockMode.X,
+                if self._grantable(entry, request.mode,
                                    ignore_tid=request.tid):
                     entry.queue.popleft()
                     self._waiting.pop(request.tid, None)
-                    entry.granted[request.tid] = LockMode.X
+                    entry.granted[request.tid] = request.mode
                     if self.observer is not None:
-                        self.observer("grant", request.tid, key, LockMode.X)
+                        self.observer("grant", request.tid, key,
+                                      request.mode)
                     request.event.succeed()
                     continue
                 break

@@ -311,7 +311,8 @@ class IncrementalReorganizer:
                 self.engine.locks.release(txn.tid, parent)
 
         self.stats.max_locks_held = max(
-            self.stats.max_locks_held, self.engine.locks.lock_count(txn.tid))
+            self.stats.max_locks_held,
+            self.engine.locks.object_lock_count(txn.tid))
         self._probe("exact_parents", oid=oid, parents=set(exact))
         return exact
 
@@ -376,7 +377,7 @@ class IncrementalReorganizer:
         # records — no direct table surgery here.
         yield from txn.delete_object(oid, cpu_ms=0)
         self.stats.max_locks_held = max(
-            self.stats.max_locks_held, engine.locks.lock_count(txn.tid))
+            self.stats.max_locks_held, engine.locks.object_lock_count(txn.tid))
         batch_mapping[oid] = new_oid
         # Defer in-memory bookkeeping to commit time (a deadlock retry must
         # not leave phantom parent-list edits behind).

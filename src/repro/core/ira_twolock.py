@@ -296,9 +296,11 @@ class TwoLockReorganizer(IncrementalReorganizer):
 
     def _note_lock_footprint(self, anchor, patch_txn) -> None:
         # The anchor holds the migrating object's two locations = one
-        # distinct object; the patch transaction holds one parent.
-        raw = (self.engine.locks.lock_count(anchor.tid)
-               + self.engine.locks.lock_count(patch_txn.tid))
+        # distinct object; the patch transaction holds one parent.  Only
+        # object-level locks count toward the §4.2 footprint — ancestor
+        # granule intents (hierarchical manager) are excluded.
+        raw = (self.engine.locks.object_lock_count(anchor.tid)
+               + self.engine.locks.object_lock_count(patch_txn.tid))
         self.stats.max_locks_held = max(self.stats.max_locks_held, raw)
 
     def _finish_object(self, oid: Oid, new_oid: Oid) -> None:

@@ -62,7 +62,7 @@ class PartitionQuiesceReorganizer:
             self.plan.prepare(engine, self.partition_id)
             txn = engine.txns.begin(system=True, reorg_partition=self.partition_id)
             yield from self._quiesce_partition(txn, trt)
-            self.stats.max_locks_held = engine.locks.lock_count(txn.tid)
+            self.stats.max_locks_held = engine.locks.object_lock_count(txn.tid)
             yield from migrate_partition_quiescent(
                 engine, txn, self.partition_id, self.plan, self.stats)
             yield from txn.commit()

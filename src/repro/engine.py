@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .concurrency import LatchManager, LockManager
+from .concurrency import LatchManager
+from .hlock import build_lock_manager
 from .config import SystemConfig
 from .refs import ExternalReferenceTable, LogAnalyzer, TemporaryReferenceTable
 from .sim import Delay, Resource, Simulator
@@ -100,10 +101,7 @@ class StorageEngine:
                               flush_time_ms=self.config.log_flush_ms,
                               io_retry_limit=self.config.io_retry_limit,
                               io_retry_backoff_ms=self.config.io_retry_backoff_ms)
-        self.locks = LockManager(self.sim,
-                                 timeout_ms=self.config.lock_timeout_ms,
-                                 track_history=self.config.track_lock_history,
-                                 detection=self.config.deadlock_detection)
+        self.locks = build_lock_manager(self.sim, self.config)
         self.latches = LatchManager(self.sim)
         self._erts: Dict[int, ExternalReferenceTable] = {}
         self.analyzer = LogAnalyzer(
@@ -290,10 +288,7 @@ class StorageEngine:
         engine.log.io_retry_limit = image.config.io_retry_limit
         engine.log.io_retry_backoff_ms = image.config.io_retry_backoff_ms
         engine.injector = None
-        engine.locks = LockManager(
-            engine.sim, timeout_ms=image.config.lock_timeout_ms,
-            track_history=image.config.track_lock_history,
-            detection=image.config.deadlock_detection)
+        engine.locks = build_lock_manager(engine.sim, image.config)
         engine.latches = LatchManager(engine.sim)
         engine.snapshots = image.snapshots
 

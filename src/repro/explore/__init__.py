@@ -32,6 +32,7 @@ from .minimize import minimize_decisions
 from .mutations import MUTATIONS, Mutation
 from .oracles import (
     LockFootprintMonitor,
+    LockHierarchyMonitor,
     OracleContext,
     OracleVerdict,
     check_recovery_idempotence,
@@ -57,6 +58,7 @@ __all__ = [
     "ExploreReport",
     "HistoryRecorder",
     "LockFootprintMonitor",
+    "LockHierarchyMonitor",
     "MUTATIONS",
     "Mutation",
     "OracleContext",

@@ -24,7 +24,12 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..config import ExperimentConfig, ReorgConfig, WorkloadConfig
+from ..config import (
+    ExperimentConfig,
+    ReorgConfig,
+    SystemConfig,
+    WorkloadConfig,
+)
 from ..core import CompactionPlan
 from ..database import Database
 from ..workload.driver import WorkloadDriver
@@ -34,6 +39,7 @@ from .minimize import minimize_decisions
 from .mutations import MUTATIONS, Mutation
 from .oracles import (
     LockFootprintMonitor,
+    LockHierarchyMonitor,
     OracleContext,
     OracleVerdict,
     run_oracles,
@@ -51,6 +57,24 @@ from .scheduler import (
 #: workload finishes far earlier; hitting the horizon means a planted
 #: (or real) bug wedged the run, which the liveness verdict reports.
 DEFAULT_HORIZON_MS = 600_000.0
+
+#: Escalation threshold for hierarchical explorer runs: low enough that
+#: the standard workload escalates for real (and the planted escalation
+#: bugs get exercised), high enough that most locking stays fine-grained.
+HIER_ESCALATE_AFTER = 3
+
+
+def _system_config(locks: str, strict: bool) -> Optional[SystemConfig]:
+    """The engine config one explored schedule runs under.
+
+    ``None`` for the default flat/strict point, so those runs build the
+    engine exactly as before this axis existed (byte-identical)."""
+    if locks == "flat" and strict:
+        return None
+    return SystemConfig(
+        lock_manager=locks,
+        lock_escalate_after=HIER_ESCALATE_AFTER if locks == "hier" else 0,
+        strict_transactions=strict)
 
 
 def default_workload(seed: int = 131) -> WorkloadConfig:
@@ -89,13 +113,27 @@ def run_schedule(policy: TracingPolicy,
                  reorg_config: Optional[ReorgConfig] = None,
                  reorg_partition: int = 1,
                  mutation: Optional[Mutation] = None,
+                 locks: str = "flat",
+                 strict: bool = True,
                  horizon_ms: float = DEFAULT_HORIZON_MS) -> ScheduleResult:
-    """Run one schedule under ``policy`` and judge it with every oracle."""
+    """Run one schedule under ``policy`` and judge it with every oracle.
+
+    ``locks`` selects the lock manager ("flat" or "hier"); ``strict``
+    selects strict vs. relaxed (§4.1) two-phase locking for the user
+    transactions.  Relaxed runs skip the serializability oracle —
+    short-duration read locks give up that guarantee by design — but
+    keep every state oracle (transparency, recovery, deep verify).
+    """
     workload = workload or default_workload()
+    if mutation is not None and locks == "flat":
+        # A mutation lives in one manager's seams; a hier-locks bug
+        # cannot even install against the flat manager.
+        locks = mutation.locks
     if algorithm == "mvcc":
         return _run_mvcc_schedule(policy, workload, reorg_partition,
                                   mutation, horizon_ms)
-    db, layout = Database.with_workload(workload)
+    db, layout = Database.with_workload(workload,
+                                        system=_system_config(locks, strict))
     engine, sim = db.engine, db.sim
     history = HistoryRecorder(sim)
     engine.history = history
@@ -108,6 +146,8 @@ def run_schedule(policy: TracingPolicy,
     # only have their peak footprint recorded.
     limit = 2 if algorithm == "ira-2lock" else None
     monitor = LockFootprintMonitor(engine, reorg, limit=limit).install()
+    hierarchy = (LockHierarchyMonitor(engine).install()
+                 if locks == "hier" else None)
 
     # The transparency oracle's reference point: the loaded database and
     # the log position it starts replaying user transactions from.
@@ -154,9 +194,11 @@ def run_schedule(policy: TracingPolicy,
     if mutation is not None:
         mutation.post_run(engine, reorg)
 
-    ctx = OracleContext(engine=engine, reorg=reorg, history=history,
+    ctx = OracleContext(engine=engine, reorg=reorg,
+                        history=history if strict else None,
                         monitor=monitor, initial_images=initial_images,
-                        start_lsn=start_lsn, unhandled=unhandled)
+                        start_lsn=start_lsn, unhandled=unhandled,
+                        hierarchy=hierarchy)
     verdicts = run_oracles(ctx)
     if hung:
         verdicts.append(OracleVerdict(
@@ -304,6 +346,8 @@ def explore(seeds: int = 50, depth: int = 2,
             algorithm: str = "ira",
             reorg_config: Optional[ReorgConfig] = None,
             mutation_name: Optional[str] = None,
+            locks: str = "flat",
+            strict: bool = True,
             out_dir: Optional[str] = None,
             minimize_budget: int = 24,
             progress: Optional[Callable[[str], None]] = None
@@ -318,6 +362,9 @@ def explore(seeds: int = 50, depth: int = 2,
     when it has deviations to shrink.
     """
     workload = workload or default_workload()
+    if mutation_name and MUTATIONS[mutation_name].locks == "hier":
+        # A bug planted in the hierarchical manager needs that manager.
+        locks = "hier"
     say = progress or (lambda message: None)
     report = ExploreReport()
     seen: Dict[str, ScheduleResult] = {}
@@ -325,7 +372,8 @@ def explore(seeds: int = 50, depth: int = 2,
     def run_one(policy: TracingPolicy, kind: str) -> Optional[ScheduleResult]:
         mutation = MUTATIONS[mutation_name]() if mutation_name else None
         result = run_schedule(policy, workload=workload, algorithm=algorithm,
-                              reorg_config=reorg_config, mutation=mutation)
+                              reorg_config=reorg_config, mutation=mutation,
+                              locks=locks, strict=strict)
         report.schedules_run += 1
         if result.trace_hash in seen:
             return None
@@ -338,6 +386,7 @@ def explore(seeds: int = 50, depth: int = 2,
             if out_dir is not None:
                 path = _emit_artifact(out_dir, result, workload, algorithm,
                                       reorg_config, mutation_name,
+                                      locks, strict,
                                       minimize_budget, say)
                 if path not in report.artifacts:
                     report.artifacts.append(path)
@@ -377,6 +426,7 @@ def _emit_artifact(out_dir: str, result: ScheduleResult,
                    workload: WorkloadConfig, algorithm: str,
                    reorg_config: Optional[ReorgConfig],
                    mutation_name: Optional[str],
+                   locks: str, strict: bool,
                    minimize_budget: int,
                    say: Callable[[str], None]) -> str:
     decisions = dict(result.trace)
@@ -388,7 +438,8 @@ def _emit_artifact(out_dir: str, result: ScheduleResult,
             rerun = run_schedule(ReplayPolicy(subset), workload=workload,
                                  algorithm=algorithm,
                                  reorg_config=reorg_config,
-                                 mutation=mutation)
+                                 mutation=mutation,
+                                 locks=locks, strict=strict)
             return signature <= set(rerun.failing())
 
         decisions, complete = minimize_decisions(decisions, still_fails,
@@ -403,14 +454,16 @@ def _emit_artifact(out_dir: str, result: ScheduleResult,
             result = run_schedule(ReplayPolicy(decisions),
                                   workload=workload, algorithm=algorithm,
                                   reorg_config=reorg_config,
-                                  mutation=mutation)
+                                  mutation=mutation,
+                                  locks=locks, strict=strict)
 
     import os
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"failure-{result.trace_hash}.json")
     with open(path, "w") as handle:
         json.dump(build_artifact(decisions, result, workload, algorithm,
-                                 reorg_config, mutation_name, minimized),
+                                 reorg_config, mutation_name, locks, strict,
+                                 minimized),
                   handle, indent=2, sort_keys=True)
     say(f"wrote {path}")
     return path
@@ -420,7 +473,8 @@ def build_artifact(decisions: Dict[int, tuple], result: ScheduleResult,
                    workload: WorkloadConfig, algorithm: str,
                    reorg_config: Optional[ReorgConfig],
                    mutation_name: Optional[str],
-                   minimized: bool) -> dict:
+                   locks: str = "flat", strict: bool = True,
+                   minimized: bool = False) -> dict:
     return {
         "version": 1,
         "workload": asdict(workload),
@@ -428,6 +482,8 @@ def build_artifact(decisions: Dict[int, tuple], result: ScheduleResult,
         "reorg_config": (asdict(reorg_config)
                          if reorg_config is not None else None),
         "mutation": mutation_name,
+        "locks": locks,
+        "strict": strict,
         "decisions": encode_decisions(decisions),
         "minimized": minimized,
         "failure": {
@@ -450,4 +506,6 @@ def replay_artifact(path: str) -> ScheduleResult:
     policy = ReplayPolicy(decode_decisions(data["decisions"]))
     return run_schedule(policy, workload=workload,
                         algorithm=data["algorithm"],
-                        reorg_config=reorg_config, mutation=mutation)
+                        reorg_config=reorg_config, mutation=mutation,
+                        locks=data.get("locks", "flat"),
+                        strict=data.get("strict", True))

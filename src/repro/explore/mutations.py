@@ -35,6 +35,18 @@ The catalogue:
     would produce.  The database stays physically consistent; only the
     snapshot-isolation oracle's read accounting can see it.
 
+``escalate_over_conflict``  (hier locks → ``lock_hierarchy``)
+    Lock escalation skips its grantability check once: the coarse page
+    (or partition) lock is granted even though another transaction holds
+    a conflicting mode on the granule — the classic escalation bug of
+    promoting without re-validating against concurrent holders.
+
+``missing_ancestor_intent`` (hier locks → ``lock_hierarchy``)
+    One object lock is taken without planting its page intent first —
+    the hierarchical protocol's root-first invariant broken at exactly
+    the spot that makes a later escalation by *another* transaction
+    unsound (it cannot see the fine lock it conflicts with).
+
 Each mutation keeps a ``triggered`` flag so a test can tell "oracle
 missed the bug" apart from "the schedule never exercised the bug".
 """
@@ -53,6 +65,9 @@ class Mutation:
     name = ""
     #: Reorganization algorithm the bug lives in.
     algorithm = "ira"
+    #: Lock manager the bug lives in ("flat" or "hier"); the explorer
+    #: runs the schedule under this manager when the mutation asks.
+    locks = "flat"
     #: The oracle that must report a violation when the bug bites.
     expected_oracle = ""
     description = ""
@@ -237,8 +252,69 @@ class StaleSnapshotRead(Mutation):
         tier.version_for = stale
 
 
+class EscalateOverConflict(Mutation):
+    name = "escalate_over_conflict"
+    algorithm = "ira"
+    locks = "hier"
+    expected_oracle = "lock_hierarchy"
+    description = "escalation skips its grantability check once"
+
+    def install(self, engine, reorg) -> None:
+        locks = engine.locks
+        original = locks._escalation_safe
+        mutation = self
+
+        # Force the first escalation the sound check would *refuse*: the
+        # coarse lock is granted over a conflicting co-holder, exactly
+        # what promoting without re-validation does in a real manager.
+        def unsafe(tid, granule, target):
+            if original(tid, granule, target):
+                return True
+            if not mutation.triggered:
+                mutation.triggered = True
+                mutation.detail = (f"escalated txn {tid} to {target.value} "
+                                   f"on {granule} over a conflicting holder")
+                return True
+            return False
+
+        locks._escalation_safe = unsafe
+
+
+class MissingAncestorIntent(Mutation):
+    name = "missing_ancestor_intent"
+    algorithm = "ira"
+    locks = "hier"
+    expected_oracle = "lock_hierarchy"
+    description = "one object lock is taken without its page intent"
+
+    def install(self, engine, reorg) -> None:
+        locks = engine.locks
+        original = locks._ancestors
+        mutation = self
+
+        # Drop the page granule from the ancestor walk once — for a
+        # transaction that holds nothing on an already-populated page,
+        # so the resulting fine lock really is uncovered (and invisible
+        # to any other transaction's escalation check).
+        def skipping(tid, oid, intent):
+            ancestors = original(tid, oid, intent)
+            if not mutation.triggered:
+                page = ancestors[-1]
+                entry = locks._table.get(page)
+                if entry is not None and tid not in entry.granted:
+                    mutation.triggered = True
+                    mutation.detail = (
+                        f"skipped {intent.value} on {page} for txn "
+                        f"{tid}'s lock on {oid}")
+                    return ancestors[:-1]
+            return ancestors
+
+        locks._ancestors = skipping
+
+
 MUTATIONS: Dict[str, Type[Mutation]] = {
     cls.name: cls
     for cls in (SkipParentPatch, ThirdReorgLock, DropTrtEntry, UnloggedPoke,
-                StaleSnapshotRead)
+                StaleSnapshotRead, EscalateOverConflict,
+                MissingAncestorIntent)
 }

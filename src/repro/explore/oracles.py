@@ -23,7 +23,19 @@ fixed order.  The oracles:
     The §4.2 claim, monitored live: at most two distinct objects locked
     by the reorganizer's transactions at any instant (the in-flight
     old/new pair counts once).  Enforced for ``ira-2lock``; for basic
-    IRA the monitor records the peak only.
+    IRA the monitor records the peak only.  Stated in intention-lock
+    terms under the hierarchical manager: only *object-level* locks
+    count toward the footprint, while ancestor granule intents are
+    excluded from the count but validated for consistency (every object
+    lock must sit under covering intents).
+
+``lock_hierarchy``
+    Multi-granularity soundness (hierarchical manager runs only): every
+    grant the lock manager makes must keep the granule tree consistent —
+    object grants need covering ancestor intents, and a coarse (S/SIX/X)
+    granule grant must not coexist with another transaction's
+    conflicting lock on any descendant.  This is the oracle that
+    convicts the planted escalation bugs.
 
 ``recovery_idempotence``
     WAL soundness: flush, recover from the durable state, recover
@@ -50,6 +62,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..sim import Simulator
+from ..storage.oid import Oid
 from ..verify import deep_verify
 from ..wal.records import (
     BeginRecord,
@@ -150,6 +163,9 @@ class LockFootprintMonitor:
         self.peak = 0
         #: (at_ms, distinct_count, keys) per violation instant.
         self.violations: List[tuple] = []
+        #: (at_ms, problem) — an object-level reorg lock observed without
+        #: its covering ancestor intents (hierarchical manager only).
+        self.intent_violations: List[tuple] = []
 
     def install(self) -> "LockFootprintMonitor":
         # Chain rather than clobber: with N reorganizers live there are N
@@ -183,16 +199,69 @@ class LockFootprintMonitor:
         txn = self.engine.txns.transaction(tid)
         if getattr(txn, "reorg_partition", None) != self.reorg.partition_id:
             return
+        locks = self.engine.locks
+        reorg_tids = self._reorg_tids()
         held = set()
-        for reorg_tid in self._reorg_tids():
-            held |= self.engine.locks.held_keys(reorg_tid)
+        for reorg_tid in reorg_tids:
+            held |= locks.held_keys(reorg_tid)
         in_flight = getattr(self.reorg, "in_flight", {})
         collapse = {new: old for old, new in in_flight.items()}
-        distinct = {collapse.get(k, k) for k in held}
+        # §4.2 counts *object-level* locks: ancestor granule intents
+        # (hierarchical manager) are excluded from the footprint ...
+        distinct = {collapse.get(k, k) for k in held if isinstance(k, Oid)}
         self.peak = max(self.peak, len(distinct))
         if self.limit is not None and len(distinct) > self.limit:
             self.violations.append((self.engine.sim.now, len(distinct),
                                     sorted(str(k) for k in distinct)))
+        # ... but validated for consistency: every object lock a reorg
+        # transaction holds must sit under covering intents.
+        checker = getattr(locks, "missing_ancestor_intents", None)
+        if checker is not None:
+            for reorg_tid in reorg_tids:
+                for problem in checker(reorg_tid):
+                    self.intent_violations.append(
+                        (self.engine.sim.now, problem))
+
+
+# -- lock hierarchy monitor ---------------------------------------------------
+
+class LockHierarchyMonitor:
+    """Live multi-granularity soundness monitor (hierarchical manager).
+
+    On every grant it asks the manager which hierarchy invariants the
+    grant violates (``grant_problems``): an object grant needs covering
+    ancestor intents, and a coarse (S/SIX/X) granule grant — i.e. an
+    escalation — must not coexist with another transaction's conflicting
+    lock on any descendant.  A sound manager never produces a violation;
+    the planted escalation mutations do.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.checked = 0
+        #: (at_ms, problem) per violating grant.
+        self.violations: List[tuple] = []
+
+    def install(self) -> "LockHierarchyMonitor":
+        previous = self.engine.locks.observer
+        if previous is None:
+            self.engine.locks.observer = self._on_event
+        else:
+            mine = self._on_event
+
+            def chained(event, tid, key, mode):
+                previous(event, tid, key, mode)
+                mine(event, tid, key, mode)
+
+            self.engine.locks.observer = chained
+        return self
+
+    def _on_event(self, event, tid, key, mode) -> None:
+        if event != "grant":
+            return
+        self.checked += 1
+        for problem in self.engine.locks.grant_problems(tid, key, mode):
+            self.violations.append((self.engine.sim.now, problem))
 
 
 # -- transparency (no-reorg twin by log replay) -------------------------------
@@ -407,6 +476,9 @@ class OracleContext:
     unhandled: List[tuple] = field(default_factory=list)
     #: Skip the state-comparing oracles (run was killed mid-flight).
     state_valid: bool = True
+    #: :class:`LockHierarchyMonitor` (or list of them) for hierarchical
+    #: runs; ``None`` under the flat manager.
+    hierarchy: Optional[LockHierarchyMonitor] = None
 
 
 def _as_list(value) -> List:
@@ -451,10 +523,29 @@ def run_oracles(ctx: OracleContext) -> List[OracleVerdict]:
         violations = sorted(
             (v for monitor in monitors for v in monitor.violations),
             key=lambda v: v[0])
+        intent_violations = sorted(
+            (v for monitor in monitors
+             for v in getattr(monitor, "intent_violations", ())),
+            key=lambda v: v[0])
         details = [f"{count} distinct reorg locks at {at:.1f}ms: {keys}"
                    for at, count, keys in violations[:3]]
+        details += [f"at {at:.1f}ms: {problem}"
+                    for at, problem in intent_violations[:3]]
+        first = violations or intent_violations
+        at = first[0][0] if first else now
+        verdicts.append(OracleVerdict(
+            "lock_footprint", not violations and not intent_violations,
+            at, details))
+
+    hier_monitors = _as_list(ctx.hierarchy)
+    if hier_monitors:
+        violations = sorted(
+            (v for monitor in hier_monitors for v in monitor.violations),
+            key=lambda v: v[0])
+        details = [f"at {at:.1f}ms: {problem}"
+                   for at, problem in violations[:5]]
         at = violations[0][0] if violations else now
-        verdicts.append(OracleVerdict("lock_footprint", not violations, at,
+        verdicts.append(OracleVerdict("lock_hierarchy", not violations, at,
                                       details))
 
     if ctx.state_valid:

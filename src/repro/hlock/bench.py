@@ -1,0 +1,201 @@
+"""The lock-manager benchmark: ``repro bench locks``.
+
+Flat vs. hierarchical locking under load, one IRA reorganization racing
+MPL user threads, swept over the scale's MPL points.  The workload mixes
+the paper's §5.2 random walks with *cluster scans* — report-style
+transactions that read one whole cluster through its tree edges — which
+is the classic workload escalation exists for: a scan piles dozens of
+fine S locks onto a handful of pages, and under strict 2PL holds them
+all to commit.  Three arms:
+
+* ``flat``         — the baseline flat manager: every scanned object is
+  one lock-table entry until commit.
+* ``hier``         — the hierarchical manager with auto-escalation
+  (:data:`ESCALATE_AFTER` fine locks on one page promote to a page
+  lock), strict 2PL: a scan's per-page lock piles collapse to one page
+  lock each.
+* ``hier-relaxed`` — the same manager under relaxed two-phase locking
+  (§4.1/§6: read locks release at operation end), the paper's
+  short-duration-lock operating point and the *other* classic answer to
+  reader lock footprint.
+
+Reported per arm: throughput, reorg-interference tail (p99/max response
+during the reorganization window) and the lock-manager counters —
+acquires, conflicts, escalations, de-escalations and the peak lock-table
+size, which is the number hierarchical locking exists to shrink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..bench.harness import SCALES, BenchPoint, base_workload
+from ..concurrency import LockTimeoutError
+from ..config import ExperimentConfig, SystemConfig, WorkloadConfig
+from ..core import CompactionPlan
+from ..database import Database
+from ..storage import NoSuchObjectError
+from ..workload import WorkloadDriver
+from ..workload.transactions import WalkOutcome, random_walk_transaction
+
+#: Fine locks on one page before the hierarchical arms escalate; the
+#: partition threshold stays off so escalation pressure is page-local.
+ESCALATE_AFTER = 3
+
+#: Probability a logical transaction is a cluster scan (the rest are the
+#: standard random walks).
+SCAN_PROB = 0.25
+
+LOCK_ARMS = ("flat", "hier", "hier-relaxed")
+
+
+def cluster_scan_transaction(engine, layout, config, rng,
+                             home_partition: int
+                             ) -> Generator[Any, Any, WalkOutcome]:
+    """Read every object of one randomly chosen cluster (tree edges
+    only — glue edges leave the cluster), shared locks throughout."""
+    txn = engine.txns.begin()
+    ops = 0
+    try:
+        # Enter through a root stub like the walks do: the stub's ref is
+        # patched transactionally by the reorganizer, so it is always
+        # current (``layout.cluster_roots`` is only remapped at reorg
+        # end and would hand out stale mid-migration addresses).
+        stubs = layout.root_stubs[home_partition]
+        stub = stubs[rng.randrange(len(stubs))]
+        stack = [(yield from txn.read_refs(stub))[0]]
+        while stack:
+            image = yield from txn.read(stack.pop())
+            ops += 1
+            for slot, child in image.refs():
+                if slot < config.branching:
+                    stack.append(child)
+        yield from txn.commit()
+        return WalkOutcome(True, ops, 0, 0)
+    except LockTimeoutError:
+        yield from txn.abort(reason="deadlock")
+        raise
+    except NoSuchObjectError:
+        yield from txn.abort(reason="stale-read")
+        raise
+
+
+def scan_mix_transaction(engine, layout, config, rng, home_partition: int
+                         ) -> Generator[Any, Any, WalkOutcome]:
+    """The bench's per-transaction body: scan with :data:`SCAN_PROB`,
+    else the standard random walk.  The flavor comes off the same
+    per-transaction rng, so a timeout retry re-runs the same flavor."""
+    if rng.random() < SCAN_PROB:
+        return (yield from cluster_scan_transaction(
+            engine, layout, config, rng, home_partition))
+    return (yield from random_walk_transaction(
+        engine, layout, config, rng, home_partition))
+
+
+class LockBenchDriver(WorkloadDriver):
+    """The standard closed-loop driver over the scan-mix transactions.
+
+    A scan keeps copied-out child references on its stack for a long
+    window, so under relaxed 2PL (read locks released at operation end)
+    it can hit the §4.2 stale-reference abort when a migration deletes
+    an old copy mid-scan.  That is a normal retryable outcome here: the
+    retry re-runs the same seeded transaction, and the stub re-read
+    resolves to the object's new address.
+    """
+
+    walk_fn = staticmethod(scan_mix_transaction)
+    retry_on = (LockTimeoutError, NoSuchObjectError)
+
+
+def _arm_system(arm: str) -> Optional[SystemConfig]:
+    """The engine config of one arm (``None`` keeps the flat arm on the
+    default-construction path, byte-identical to ``run_point``)."""
+    if arm == "flat":
+        return None
+    return SystemConfig(lock_manager="hier",
+                        lock_escalate_after=ESCALATE_AFTER,
+                        strict_transactions=(arm != "hier-relaxed"))
+
+
+def run_locks_point(arm: str, workload: WorkloadConfig
+                    ) -> Tuple[BenchPoint, Dict[str, object]]:
+    """One arm at one MPL: the metrics point plus the lock counters
+    (forced, so the flat manager reports them too)."""
+    system = _arm_system(arm)
+    db, layout = Database.with_workload(workload, system=system)
+    driver = LockBenchDriver(
+        db.engine, layout,
+        ExperimentConfig(workload=workload, system=system or SystemConfig()))
+    reorganizer = db.reorganizer(1, "ira", plan=CompactionPlan())
+    metrics = driver.run(reorganizer=reorganizer)
+    report = db.verify_integrity()
+    if not report.ok:
+        raise AssertionError(
+            f"integrity violated after locks/{arm}: {report.problems()[:3]}")
+    point = BenchPoint(algorithm=arm, metrics=metrics,
+                       counters=db.engine.sim.counters())
+    return point, db.engine.locks.counters_summary(force=True)
+
+
+def run_locks_experiment(scale_name: str,
+                         progress: Optional[Callable[[str], None]] = None
+                         ) -> Dict[int, Dict[str, Tuple[BenchPoint, Dict]]]:
+    scale = SCALES[scale_name]
+    say = progress or (lambda line: None)
+    rows: Dict[int, Dict[str, Tuple[BenchPoint, Dict]]] = {}
+    for mpl in scale.mpl_points:
+        workload = base_workload(scale, mpl=mpl)
+        rows[mpl] = {}
+        for arm in LOCK_ARMS:
+            point, counters = rows[mpl][arm] = run_locks_point(arm, workload)
+            say(f"mpl={mpl} {arm}: "
+                f"{point.metrics.throughput_tps:.1f} tps, "
+                f"table peak {counters['table_peak']}, "
+                f"{counters['escalations']} escalations")
+    return rows
+
+
+def format_locks(rows: Dict[int, Dict[str, Tuple[BenchPoint, Dict]]]) -> str:
+    lines = [
+        "Lock managers under on-line reorganization (IRA arm)",
+        "----------------------------------------------------",
+        f"{'mpl':>4} {'arm':<13} {'tput(tps)':>10} {'p99 RT(ms)':>11} "
+        f"{'max RT(ms)':>11} {'acquires':>9} {'conflicts':>10} "
+        f"{'esc':>5} {'deesc':>6} {'peak':>6}",
+    ]
+    for mpl in sorted(rows):
+        for arm in LOCK_ARMS:
+            point, counters = rows[mpl][arm]
+            m = point.metrics
+            lines.append(
+                f"{mpl:>4} {arm:<13} {m.throughput_tps:10.1f} "
+                f"{m.p99_response_ms:11.0f} {m.max_response_ms:11.0f} "
+                f"{counters['acquires']:9d} {counters['conflicts']:10d} "
+                f"{counters['escalations']:5d} "
+                f"{counters['deescalations']:6d} "
+                f"{counters['table_peak']:6d}")
+    lines.append("")
+    lines.append("peak = most lock-table entries live at once; the "
+                 "hierarchical arms trade a few intent entries for "
+                 "escalated fine locks.")
+    return "\n".join(lines)
+
+
+def locks_payload(rows: Dict[int, Dict[str, Tuple[BenchPoint, Dict]]]
+                  ) -> Dict[str, object]:
+    """The BENCH_*.json figure payload.  Lock counters appear twice: the
+    hierarchical arms carry theirs inside ``metrics`` (pinned exactly by
+    ``--compare``), and every arm's forced counters — the flat manager
+    included — live under ``locks`` for the flat-vs-hier table."""
+    return {
+        "wall_clock_s": 0.0,
+        "metrics": {str(mpl): {arm: rows[mpl][arm][0].metrics.summary()
+                               for arm in LOCK_ARMS}
+                    for mpl in sorted(rows)},
+        "counters": {str(mpl): {arm: rows[mpl][arm][0].counters
+                                for arm in LOCK_ARMS}
+                     for mpl in sorted(rows)},
+        "locks": {str(mpl): {arm: rows[mpl][arm][1]
+                             for arm in LOCK_ARMS}
+                  for mpl in sorted(rows)},
+    }

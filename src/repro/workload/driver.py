@@ -107,6 +107,9 @@ class WorkloadDriver:
         metrics.lock_timeouts = self.engine.locks.stats.timeouts
         metrics.forced_lock_timeouts = self.engine.locks.stats.forced_timeouts
         metrics.deadlock_victims = self.engine.locks.stats.deadlock_victims
+        # None for the flat manager (keeps its summaries byte-identical);
+        # the hierarchical manager always reports its counters.
+        metrics.locks = self.engine.locks.counters_summary()
         metrics.deadlock_aborts = self.engine.txns.abort_reasons.get(
             "deadlock", 0)
         metrics.io_faults = self.engine.log.io_faults

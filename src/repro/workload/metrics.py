@@ -69,6 +69,11 @@ class ExperimentMetrics:
     #: setting only; ``None`` when the database is memory-resident) —
     #: the placement-quality signal the clustering experiment gates on.
     buffer: Optional[Dict[str, int]] = None
+    #: Lock-manager counter summary (acquires, conflicts, escalations,
+    #: de-escalations, peak lock-table size).  The flat manager reports
+    #: ``None`` so pre-existing summaries stay byte-identical; the
+    #: hierarchical manager always reports (``repro.hlock``).
+    locks: Optional[Dict[str, object]] = None
 
     # Derived-statistics caches, keyed on the records generation (its
     # length — records are append-only in practice; a shrink triggers a
@@ -216,6 +221,8 @@ class ExperimentMetrics:
             buffer["pages_fetched_per_txn"] = round(
                 self.pages_fetched_per_txn, 3)
             out["buffer"] = buffer
+        if self.locks is not None:
+            out["locks"] = dict(self.locks)
         return out
 
     def _base_summary(self) -> Dict[str, float]:

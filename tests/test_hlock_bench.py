@@ -1,0 +1,88 @@
+"""The locks bench (``repro bench locks``), its CLI wiring, and the
+replayable-artifact path for the hierarchical planted bugs."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import SCALES, base_workload
+from repro.cli import main
+from repro.explore import MUTATIONS, explore, replay_artifact
+from repro.hlock.bench import LOCK_ARMS, run_locks_point
+
+
+def test_locks_point_reports_counters_for_every_arm():
+    workload = base_workload(SCALES["quick"], mpl=4)
+    results = {arm: run_locks_point(arm, workload) for arm in LOCK_ARMS}
+    for arm, (point, counters) in results.items():
+        assert point.metrics.completed > 0, arm
+        assert counters["acquires"] > 0, arm
+        assert counters["table_peak"] > 0, arm
+    assert results["flat"][1]["manager"] == "flat"
+    assert results["hier"][1]["manager"] == "hier"
+    # The flat arm never escalates; the hierarchical arms can.
+    assert results["flat"][1]["escalations"] == 0
+    # The point of the exercise: the scan-heavy mix makes the flat
+    # manager's lock table strictly larger than the hierarchical one's.
+    assert results["hier"][1]["table_peak"] < \
+        results["flat"][1]["table_peak"]
+    # The hier arms carry their counters in the pinned metrics summary;
+    # the flat arm's summary stays byte-identical to pre-hier trees.
+    assert results["flat"][0].metrics.summary().get("locks") is None
+    assert results["hier"][0].metrics.summary()["locks"]["manager"] == "hier"
+
+
+def test_relaxed_arm_differs_from_strict():
+    workload = base_workload(SCALES["quick"], mpl=4)
+    _, strict = run_locks_point("hier", workload)
+    _, relaxed = run_locks_point("hier-relaxed", workload)
+    # Short-duration read locks (§4.1/§6) shrink the table further.
+    assert relaxed["table_peak"] < strict["table_peak"]
+
+
+def test_cli_bench_locks_json_payload(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "locks", "--scale", "quick", "--json", str(out)])
+    assert code == 0
+    assert "Lock managers under on-line reorganization" in \
+        capsys.readouterr().out
+    payload = json.load(open(out))["figures"]["locks/quick"]
+    mpls = sorted(payload["locks"], key=int)
+    assert set(payload["locks"][mpls[0]]) == set(LOCK_ARMS)
+    top = payload["locks"][mpls[-1]]
+    # The committed-baseline acceptance: at the highest MPL the
+    # hierarchical arm's peak lock-table size beats the flat arm's.
+    assert top["hier"]["table_peak"] < top["flat"]["table_peak"]
+
+
+def test_cli_demo_hier_locks(capsys):
+    code = main(["demo", "--locks", "hier", "--partitions", "2",
+                 "--objects", "170", "--mpl", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "integrity: OK" in out
+    assert "lock manager         hier" in out
+
+
+@pytest.mark.parametrize("name", ["escalate_over_conflict",
+                                  "missing_ancestor_intent"])
+def test_hier_mutation_artifact_replays(tmp_path, name):
+    out = tmp_path / "artifacts"
+    report = explore(seeds=2, depth=1, mutation_name=name,
+                     out_dir=str(out), minimize_budget=4)
+    assert report.failures and report.artifacts
+    data = json.load(open(report.artifacts[0]))
+    assert data["mutation"] == name
+    assert data["locks"] == "hier"
+    assert data["strict"] is True
+    result = replay_artifact(report.artifacts[0])
+    assert "lock_hierarchy" in result.failing()
+    assert result.mutation_triggered
+
+
+def test_cli_explore_follows_mutation_lock_manager(capsys):
+    assert MUTATIONS["escalate_over_conflict"].locks == "hier"
+    code = main(["explore", "--seeds", "1", "--depth", "1",
+                 "--mutation", "escalate_over_conflict"])
+    assert code == 0
+    assert "caught by lock_hierarchy" in capsys.readouterr().out
